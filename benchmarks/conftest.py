@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Environment knobs:
+
+* ``REPRO_FEED_ROUTES``  — size of the preloaded backbone feed for the
+  Figure 11/12 benches (default: the paper's 146515);
+* ``REPRO_TEST_ROUTES``  — number of measured test routes (default: the
+  paper's 255);
+* ``REPRO_FIG13_ROUTES`` — routes injected in the Figure 13 bench
+  (default 255).
+"""
+
+import os
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+FEED_ROUTES = env_int("REPRO_FEED_ROUTES", 146515)
+TEST_ROUTES = env_int("REPRO_TEST_ROUTES", 255)
+FIG13_ROUTES = env_int("REPRO_FIG13_ROUTES", 255)

@@ -1,0 +1,41 @@
+"""Figure 10: route propagation latency with no initial routes.
+
+Paper: 255 test routes into a BGP with an empty table; eight profiling
+points from "Entering BGP" to "Entering kernel"; typical end-to-end
+latency a few ms, dominated by the IPC hops between processes.
+"""
+
+from conftest import TEST_ROUTES
+
+from repro.experiments.latency import PROFILE_POINTS, run_latency_experiment
+
+
+def test_fig10_latency_no_initial_routes(benchmark):
+    box = {}
+
+    def run():
+        box["result"] = run_latency_experiment(
+            initial_routes=0, same_peering=True, test_routes=TEST_ROUTES)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result = box["result"]
+    print()
+    print(result.table())
+    print()
+    print(result.ascii_plot())
+
+    labels = [label for label, __, __ in PROFILE_POINTS]
+    # Every route was measured at every point.
+    for label in labels[1:]:
+        assert len(result.deltas[label]) == TEST_ROUTES
+    # Averages increase monotonically along the pipeline.
+    averages = [result.stats(label)[0] for label in labels[1:]]
+    assert averages == sorted(averages), averages
+    # Routes reach the kernel quickly (paper: "typically within 4ms").
+    avg_kernel = result.stats("Entering kernel")[0]
+    assert avg_kernel < 50.0, f"kernel entry too slow: {avg_kernel:.3f} ms"
+    # The IPC hops (BGP->RIB, RIB->FEA) dominate the profile: crossing the
+    # two process boundaries costs more than everything inside BGP.
+    sent_rib = result.stats("Sent to RIB")[0]
+    arrive_fea = result.stats("Arriving at FEA")[0]
+    assert arrive_fea - sent_rib > 0

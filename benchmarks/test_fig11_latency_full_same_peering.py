@@ -1,0 +1,39 @@
+"""Figure 11: latency with 146,515 initial routes, same peering.
+
+The paper's key claim: "the latency does not significantly degrade when
+the router has a full routing table."  This bench preloads the synthetic
+backbone feed on the injecting peering and repeats Figure 10.
+"""
+
+from conftest import FEED_ROUTES, TEST_ROUTES
+
+from repro.experiments.latency import run_latency_experiment
+
+
+def test_fig11_latency_full_table_same_peering(benchmark):
+    box = {}
+
+    def run():
+        box["result"] = run_latency_experiment(
+            initial_routes=FEED_ROUTES, same_peering=True,
+            test_routes=TEST_ROUTES)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result = box["result"]
+    print()
+    print(result.table())
+    print()
+    print(result.ascii_plot())
+
+    assert len(result.deltas["Entering kernel"]) == TEST_ROUTES
+    avg_kernel = result.stats("Entering kernel")[0]
+    # Latency stays in the same regime as the empty-table case: run the
+    # empty-table experiment inline for a same-machine comparison.
+    empty = run_latency_experiment(initial_routes=0, same_peering=True,
+                                   test_routes=min(TEST_ROUTES, 64))
+    empty_avg = empty.stats("Entering kernel")[0]
+    print(f"\nempty-table avg kernel entry: {empty_avg:.3f} ms; "
+          f"full-table ({FEED_ROUTES} routes): {avg_kernel:.3f} ms")
+    assert avg_kernel < 10 * max(empty_avg, 0.05), (
+        f"latency degraded with a full table: {empty_avg:.3f} -> "
+        f"{avg_kernel:.3f} ms")

@@ -1,0 +1,34 @@
+"""Figure 12: latency with 146,515 initial routes, different peering.
+
+As Figure 11 but the test routes arrive on a second peering, exercising
+different code paths (a separate PeerIn branch, a second nexthop, and
+decision-process comparisons against the feed peering's routes).
+"""
+
+from conftest import FEED_ROUTES, TEST_ROUTES
+
+from repro.experiments.latency import PROFILE_POINTS, run_latency_experiment
+
+
+def test_fig12_latency_full_table_different_peering(benchmark):
+    box = {}
+
+    def run():
+        box["result"] = run_latency_experiment(
+            initial_routes=FEED_ROUTES, same_peering=False,
+            test_routes=TEST_ROUTES)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result = box["result"]
+    print()
+    print(result.table())
+    print()
+    print(result.ascii_plot())
+
+    labels = [label for label, __, __ in PROFILE_POINTS]
+    for label in labels[1:]:
+        assert len(result.deltas[label]) == TEST_ROUTES
+    averages = [result.stats(label)[0] for label in labels[1:]]
+    assert averages == sorted(averages), averages
+    avg_kernel = result.stats("Entering kernel")[0]
+    assert avg_kernel < 50.0, f"kernel entry too slow: {avg_kernel:.3f} ms"

@@ -1,0 +1,49 @@
+"""Figure 13: BGP route latency induced by a router.
+
+255 routes at one-second intervals through a router under test; the
+sink records per-route propagation delay.  Expected shape:
+
+* XORP (our stack) and MRTD (event-driven monolithic): delay never
+  exceeds one second — "the consistent behavior achieved by XORP";
+* Cisco / Quagga (30-second route scanner): the classic sawtooth, with
+  delays spread between ~0 and the scan interval and batched arrivals.
+"""
+
+from conftest import FIG13_ROUTES
+
+from repro.experiments.routeflow import run_route_flow
+
+
+def test_fig13_route_flow(benchmark):
+    box = {}
+
+    def run():
+        box["result"] = run_route_flow(route_count=FIG13_ROUTES)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result = box["result"]
+    print()
+    print(result.table())
+    for kind in ("xorp", "cisco"):
+        print()
+        print(result.ascii_plot(kind))
+
+    # Event-driven routers: delay never exceeds one second.
+    assert result.max_delay("xorp") < 1.0, result.max_delay("xorp")
+    assert result.max_delay("mrtd") < 1.0, result.max_delay("mrtd")
+    # "the multi-process architecture used by XORP delivers similar
+    # performance to a closely-coupled single-process architecture":
+    assert abs(result.mean_delay("xorp") - result.mean_delay("mrtd")) < 1.0
+    # Scanner-based routers: sawtooth between 0 and ~30 s.
+    for kind in ("cisco", "quagga"):
+        delays = [d for __, d in result.series[kind]]
+        assert max(delays) > 20.0, f"{kind}: no scanner sawtooth visible"
+        assert result.mean_delay(kind) > 5.0
+        assert max(delays) <= 31.0
+    # The scanner's batching: many routes share one arrival instant.
+    cisco = result.series["cisco"]
+    arrival_times = [round(inject + delay, 1) for inject, delay in cisco]
+    from collections import Counter
+
+    biggest_batch = Counter(arrival_times).most_common(1)[0][1]
+    assert biggest_batch >= 10, "expected batched arrivals from the scanner"

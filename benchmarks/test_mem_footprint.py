@@ -1,0 +1,62 @@
+"""Memory footprint sanity check (paper §5.1 text).
+
+    "a XORP router holding a full backbone routing table of about 150,000
+    routes requires about 120 MB for BGP and 60 MB for the RIB, which is
+    simply not a problem on any recent hardware."
+
+A fresh subprocess loads the synthetic feed into the BGP pipeline + RIB +
+FEA and reports resident-memory growth, isolated from the other benches.
+The target is the paper's order of magnitude (a full table fits
+comfortably), accepting that Python objects are fatter than C++ ones —
+plus the stage design's known cost of "slightly greater memory usage, due
+to some duplication between stages".
+"""
+
+import json
+import subprocess
+import sys
+
+from conftest import FEED_ROUTES
+
+_CHILD = r"""
+import json, sys
+
+def rss_mb():
+    with open("/proc/self/status") as f:
+        for line in f:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1]) / 1024.0
+    return 0.0
+
+feed_routes = int(sys.argv[1])
+before = rss_mb()
+from repro.experiments.latency import run_latency_experiment
+imported = rss_mb()
+run_latency_experiment(initial_routes=feed_routes, same_peering=True,
+                       test_routes=1)
+after = rss_mb()
+print(json.dumps({"before": before, "imported": imported, "after": after}))
+"""
+
+
+def test_memory_footprint_full_table(benchmark):
+    box = {}
+
+    def run():
+        output = subprocess.run(
+            [sys.executable, "-c", _CHILD, str(FEED_ROUTES)],
+            capture_output=True, text=True, check=True, timeout=1800)
+        box["stats"] = json.loads(output.stdout.strip().splitlines()[-1])
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = box["stats"]
+    growth = stats["after"] - stats["imported"]
+    print(f"\nRSS at start: {stats['before']:.0f} MB, after imports: "
+          f"{stats['imported']:.0f} MB, after loading {FEED_ROUTES} routes: "
+          f"{stats['after']:.0f} MB")
+    print(f"table cost: {growth:.0f} MB "
+          f"(~{growth * 1024.0 / max(FEED_ROUTES, 1):.1f} KB/route across "
+          f"all stage copies; paper: ~180 MB total for BGP + RIB in C++)")
+    # Order-of-magnitude: a full table must fit in single-digit GB.
+    assert growth < 8192, f"table used {growth:.0f} MB"
+    assert growth > 1, "suspiciously small: did the feed load?"

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Multicast: IGMP membership driving PIM-SM-lite (paper Figure 1).
+
+A receiver joins a group via IGMP; PIM resolves the reverse path to the
+rendezvous point through the RIB's interest registration and installs a
+multicast forwarding entry directly in the FEA.  When unicast routing
+towards the RP changes, the RIB invalidates PIM's registration and the
+tree's incoming interface moves — the exact coupling Figure 1 draws.
+
+Run:  python examples/multicast_pim.py
+"""
+
+from repro.mld6igmp import Mld6igmpProcess
+from repro.net import IPv4
+from repro.pim import PimProcess
+from repro.simnet import SimNetwork
+from repro.xrl import Xrl, XrlArgs
+
+
+def show_mfib(router) -> None:
+    if not router.fea.mfib:
+        print("  (empty)")
+    for (source, group), entry in sorted(router.fea.mfib.items()):
+        print(f"  ({IPv4(source)}, {IPv4(group)}) iif={entry.iif} "
+              f"oifs={','.join(entry.oifs)}")
+
+
+def main() -> None:
+    network = SimNetwork()
+    router = network.add_router("router")
+    rp_near = network.add_router("rp-near")     # eth0 side
+    rp_far = network.add_router("rp-far")       # eth1 side
+    receivers = network.add_router("receivers")  # eth2 side
+    network.link(router, "10.1.0.1", rp_near, "10.1.0.2")
+    network.link(router, "10.2.0.1", rp_far, "10.2.0.2")
+    network.link(router, "10.3.0.1", receivers, "10.3.0.2")
+    igmp = Mld6igmpProcess(router.host)
+    pim = PimProcess(router.host)
+    network.run(duration=1)
+
+    def rib_call(method, **values):
+        from repro.interfaces import RIB_IDL
+
+        args = RIB_IDL.method(method).build_args(values)
+        error, __ = pim.xrl.send_sync(Xrl("rib", "rib", "1.0", method, args),
+                                      timeout=10)
+        assert error.is_okay, error
+
+    print("== configure the RP (77.0.0.1, reachable via eth0) ==")
+    rib_call("add_route4", protocol="static", net="77.0.0.0/8",
+             nexthop="10.1.0.2", metric=1, policytags=[])
+    args = (XrlArgs().add_ipv4net("group_prefix", "239.0.0.0/8")
+            .add_ipv4("rp", "77.0.0.1"))
+    pim.xrl.send_sync(Xrl("pim", "pim", "0.1", "set_rp", args), timeout=10)
+    network.run(duration=1)
+
+    print("\n== a receiver on eth2 joins 239.1.1.1 (IGMP report) ==")
+    igmp.xrl_add_membership4("eth2", IPv4("239.1.1.1"))
+    network.run_until(lambda: bool(router.fea.mfib), timeout=20)
+    print("multicast FIB:")
+    show_mfib(router)
+    entry = next(iter(router.fea.mfib.values()))
+    assert entry.iif == "eth0"
+
+    print("\n== unicast routing to the RP moves to eth1 ==")
+    rib_call("add_route4", protocol="static", net="77.0.0.0/16",
+             nexthop="10.2.0.2", metric=1, policytags=[])
+    network.run_until(
+        lambda: next(iter(router.fea.mfib.values())).iif == "eth1",
+        timeout=20)
+    print("multicast FIB after the routing change:")
+    show_mfib(router)
+
+    print("\n== a second receiver joins on eth0; the first one leaves ==")
+    igmp.xrl_add_membership4("eth0", IPv4("239.1.1.1"))
+    network.run(duration=1)
+    igmp.xrl_delete_membership4("eth2", IPv4("239.1.1.1"))
+    network.run(duration=1)
+    show_mfib(router)
+
+    print("\n== the last receiver leaves: the tree is torn down ==")
+    igmp.xrl_delete_membership4("eth0", IPv4("239.1.1.1"))
+    network.run_until(lambda: not router.fea.mfib, timeout=20)
+    show_mfib(router)
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

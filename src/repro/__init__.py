@@ -1,0 +1,27 @@
+"""repro — a Python reproduction of XORP, the extensible open router platform.
+
+Implements the system described in "Designing Extensible IP Router
+Software" (Handley, Kohler, Ghosh, Hodson, Radoslavov — NSDI 2005): an
+event-driven, multi-process router control plane built around two ideas:
+
+* **staged routing tables** (:mod:`repro.core.stages`) — routing tables
+  as networks of pluggable stages through which routes flow;
+* **XRLs** (:mod:`repro.xrl`) — scriptable, transport-transparent IPC
+  brokered by a Finder.
+
+Entry points by task:
+
+* build a router:          :class:`repro.simnet.SimNetwork`,
+                           :class:`repro.rtrmgr.RouterManager`
+* run a routing protocol:  :class:`repro.bgp.BgpProcess`,
+                           :class:`repro.rip.RipProcess`,
+                           :class:`repro.ospf.OspfProcess`
+* reproduce the paper:     :mod:`repro.experiments`
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+__paper__ = ("Designing Extensible IP Router Software, "
+             "Handley et al., NSDI 2005")

@@ -1,0 +1,59 @@
+"""The BGP process (paper §5.1) — a staged pipeline implementation.
+
+    "Routes come in from a specific BGP peer and progress through an
+    incoming filter bank into the decision process.  The best routes then
+    proceed down additional pipelines, one for each peering, through an
+    outgoing filter bank and then on to the relevant peer router."
+
+Pipeline shape (paper Figures 4-6)::
+
+    PeerIn ──> DampingStage? ──> FilterBank(in) ──> NexthopResolver ─┐
+    PeerIn ──> ...                                                    ├─> Decision ─> FanoutQueue ─┬─> FilterBank(out) ─> Cache ─> PeerOut
+    PeerIn ──> ...                                                    ┘                            ├─> ...
+                                                                                                   └─> (to RIB)
+
+plus *dynamic* deletion stages spliced in after a PeerIn when its peering
+goes down (§5.1.2).
+"""
+
+from repro.bgp.attributes import (
+    ASPath,
+    Origin,
+    PathAttributeList,
+)
+from repro.bgp.route import BGPRoute
+from repro.bgp.messages import (
+    BGPDecodeError,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+    decode_message,
+)
+from repro.bgp.fsm import BgpState, PeerFSM
+from repro.bgp.decision import DecisionStage
+from repro.bgp.fanout import FanoutQueue
+from repro.bgp.nexthop import NexthopCache, NexthopResolverStage
+from repro.bgp.damping import DampingStage
+from repro.bgp.process import BgpProcess
+
+__all__ = [
+    "ASPath",
+    "BGPDecodeError",
+    "BGPRoute",
+    "BgpProcess",
+    "BgpState",
+    "DampingStage",
+    "DecisionStage",
+    "FanoutQueue",
+    "KeepaliveMessage",
+    "NexthopCache",
+    "NexthopResolverStage",
+    "NotificationMessage",
+    "OpenMessage",
+    "Origin",
+    "PathAttributeList",
+    "PeerFSM",
+    "UpdateMessage",
+    "decode_message",
+]

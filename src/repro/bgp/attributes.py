@@ -1,0 +1,315 @@
+"""BGP path attributes and their wire encoding (RFC 1771/4271 style).
+
+The attribute list is the unit BGP's decision process compares and the
+unit UPDATE messages group routes by, so :class:`PathAttributeList` is
+immutable, hashable, and supports cheap "with one field changed" copies —
+the filter banks rewrite attributes constantly.
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import IntEnum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.net import IPv4
+
+
+class BGPAttributeError(ValueError):
+    """Malformed attribute data (encodes or decodes)."""
+
+
+class Origin(IntEnum):
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+class AttrType(IntEnum):
+    ORIGIN = 1
+    AS_PATH = 2
+    NEXT_HOP = 3
+    MED = 4
+    LOCAL_PREF = 5
+    ATOMIC_AGGREGATE = 6
+    AGGREGATOR = 7
+    COMMUNITY = 8
+
+
+#: attribute flag bits
+FLAG_OPTIONAL = 0x80
+FLAG_TRANSITIVE = 0x40
+FLAG_PARTIAL = 0x20
+FLAG_EXTENDED_LENGTH = 0x10
+
+AS_SET = 1
+AS_SEQUENCE = 2
+
+
+class ASPath:
+    """An AS path: a tuple of (segment_type, (as, as, ...)) segments."""
+
+    __slots__ = ("segments", "_hash")
+
+    def __init__(self, segments: Iterable[Tuple[int, Sequence[int]]] = ()):
+        normalized = []
+        for seg_type, as_numbers in segments:
+            if seg_type not in (AS_SET, AS_SEQUENCE):
+                raise BGPAttributeError(f"bad AS path segment type {seg_type}")
+            numbers = tuple(int(a) for a in as_numbers)
+            for asn in numbers:
+                if not 0 <= asn <= 0xFFFF:
+                    raise BGPAttributeError(f"AS number {asn} out of range")
+            normalized.append((seg_type, numbers))
+        self.segments: Tuple[Tuple[int, Tuple[int, ...]], ...] = tuple(normalized)
+        self._hash = hash(self.segments)
+
+    @classmethod
+    def from_sequence(cls, *as_numbers: int) -> "ASPath":
+        """An AS path made of a single AS_SEQUENCE segment."""
+        if not as_numbers:
+            return cls()
+        return cls([(AS_SEQUENCE, as_numbers)])
+
+    def prepend(self, asn: int) -> "ASPath":
+        """A new path with *asn* prepended (EBGP export)."""
+        if self.segments and self.segments[0][0] == AS_SEQUENCE:
+            first = (AS_SEQUENCE, (asn,) + self.segments[0][1])
+            return ASPath((first,) + self.segments[1:])
+        return ASPath(((AS_SEQUENCE, (asn,)),) + self.segments)
+
+    def path_length(self) -> int:
+        """Decision-process length: an AS_SET counts as one hop."""
+        length = 0
+        for seg_type, numbers in self.segments:
+            length += 1 if seg_type == AS_SET else len(numbers)
+        return length
+
+    def contains(self, asn: int) -> bool:
+        """Loop detection: does *asn* appear anywhere in the path?"""
+        return any(asn in numbers for __, numbers in self.segments)
+
+    def first_asn(self) -> Optional[int]:
+        """The neighbour AS (leftmost AS of the first sequence)."""
+        for seg_type, numbers in self.segments:
+            if numbers:
+                return numbers[0]
+        return None
+
+    def as_list(self) -> List[int]:
+        out: List[int] = []
+        for __, numbers in self.segments:
+            out.extend(numbers)
+        return out
+
+    def encode(self) -> bytes:
+        parts = []
+        for seg_type, numbers in self.segments:
+            if len(numbers) > 255:
+                raise BGPAttributeError("AS path segment too long")
+            parts.append(struct.pack("!BB", seg_type, len(numbers)))
+            parts.extend(struct.pack("!H", asn) for asn in numbers)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ASPath":
+        segments = []
+        offset = 0
+        while offset < len(data):
+            if offset + 2 > len(data):
+                raise BGPAttributeError("truncated AS path segment header")
+            seg_type, count = struct.unpack_from("!BB", data, offset)
+            offset += 2
+            if offset + 2 * count > len(data):
+                raise BGPAttributeError("truncated AS path segment body")
+            numbers = struct.unpack_from(f"!{count}H", data, offset)
+            offset += 2 * count
+            segments.append((seg_type, numbers))
+        return cls(segments)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ASPath) and self.segments == other.segments
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        rendered = []
+        for seg_type, numbers in self.segments:
+            text = " ".join(str(n) for n in numbers)
+            rendered.append("{%s}" % text if seg_type == AS_SET else text)
+        return " ".join(rendered) if rendered else "(empty)"
+
+    def __repr__(self) -> str:
+        return f"ASPath({str(self)!r})"
+
+
+class PathAttributeList:
+    """The immutable set of path attributes shared by a group of routes."""
+
+    __slots__ = ("origin", "as_path", "nexthop", "med", "local_pref",
+                 "atomic_aggregate", "aggregator", "communities", "_hash")
+
+    def __init__(self, *, origin: Origin = Origin.IGP,
+                 as_path: Optional[ASPath] = None,
+                 nexthop: Optional[IPv4] = None,
+                 med: Optional[int] = None,
+                 local_pref: Optional[int] = None,
+                 atomic_aggregate: bool = False,
+                 aggregator: Optional[Tuple[int, IPv4]] = None,
+                 communities: Iterable[int] = ()):
+        if nexthop is None:
+            raise BGPAttributeError("a route must carry a NEXT_HOP attribute")
+        self.origin = Origin(origin)
+        self.as_path = as_path if as_path is not None else ASPath()
+        self.nexthop = nexthop
+        self.med = med
+        self.local_pref = local_pref
+        self.atomic_aggregate = atomic_aggregate
+        self.aggregator = aggregator
+        self.communities = tuple(sorted(set(int(c) for c in communities)))
+        self._hash = hash((self.origin, self.as_path, self.nexthop, self.med,
+                           self.local_pref, self.atomic_aggregate,
+                           self.aggregator, self.communities))
+
+    def replace(self, **changes) -> "PathAttributeList":
+        """A copy with the given fields changed (filter-bank workhorse)."""
+        fields = {
+            "origin": self.origin,
+            "as_path": self.as_path,
+            "nexthop": self.nexthop,
+            "med": self.med,
+            "local_pref": self.local_pref,
+            "atomic_aggregate": self.atomic_aggregate,
+            "aggregator": self.aggregator,
+            "communities": self.communities,
+        }
+        fields.update(changes)
+        return PathAttributeList(**fields)
+
+    # -- wire encoding -----------------------------------------------------
+    def encode(self) -> bytes:
+        parts: List[bytes] = []
+
+        def attr(flags: int, type_code: int, payload: bytes) -> None:
+            if len(payload) > 255:
+                flags |= FLAG_EXTENDED_LENGTH
+                parts.append(struct.pack("!BBH", flags, type_code, len(payload)))
+            else:
+                parts.append(struct.pack("!BBB", flags, type_code, len(payload)))
+            parts.append(payload)
+
+        attr(FLAG_TRANSITIVE, AttrType.ORIGIN, bytes([self.origin]))
+        attr(FLAG_TRANSITIVE, AttrType.AS_PATH, self.as_path.encode())
+        attr(FLAG_TRANSITIVE, AttrType.NEXT_HOP, self.nexthop.to_bytes())
+        if self.med is not None:
+            attr(FLAG_OPTIONAL, AttrType.MED, struct.pack("!I", self.med))
+        if self.local_pref is not None:
+            attr(FLAG_TRANSITIVE, AttrType.LOCAL_PREF,
+                 struct.pack("!I", self.local_pref))
+        if self.atomic_aggregate:
+            attr(FLAG_TRANSITIVE, AttrType.ATOMIC_AGGREGATE, b"")
+        if self.aggregator is not None:
+            asn, addr = self.aggregator
+            attr(FLAG_OPTIONAL | FLAG_TRANSITIVE, AttrType.AGGREGATOR,
+                 struct.pack("!H", asn) + addr.to_bytes())
+        if self.communities:
+            payload = b"".join(struct.pack("!I", c) for c in self.communities)
+            attr(FLAG_OPTIONAL | FLAG_TRANSITIVE, AttrType.COMMUNITY, payload)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PathAttributeList":
+        offset = 0
+        fields: Dict = {"communities": ()}
+        seen = set()
+        while offset < len(data):
+            if offset + 2 > len(data):
+                raise BGPAttributeError("truncated attribute header")
+            flags, type_code = struct.unpack_from("!BB", data, offset)
+            offset += 2
+            if flags & FLAG_EXTENDED_LENGTH:
+                if offset + 2 > len(data):
+                    raise BGPAttributeError("truncated extended length")
+                (length,) = struct.unpack_from("!H", data, offset)
+                offset += 2
+            else:
+                if offset + 1 > len(data):
+                    raise BGPAttributeError("truncated length")
+                length = data[offset]
+                offset += 1
+            if offset + length > len(data):
+                raise BGPAttributeError("attribute body overruns buffer")
+            payload = data[offset : offset + length]
+            offset += length
+            if type_code in seen:
+                raise BGPAttributeError(f"duplicate attribute {type_code}")
+            seen.add(type_code)
+            if type_code == AttrType.ORIGIN:
+                if length != 1 or payload[0] > 2:
+                    raise BGPAttributeError("bad ORIGIN")
+                fields["origin"] = Origin(payload[0])
+            elif type_code == AttrType.AS_PATH:
+                fields["as_path"] = ASPath.decode(payload)
+            elif type_code == AttrType.NEXT_HOP:
+                if length != 4:
+                    raise BGPAttributeError("bad NEXT_HOP length")
+                fields["nexthop"] = IPv4(payload)
+            elif type_code == AttrType.MED:
+                if length != 4:
+                    raise BGPAttributeError("bad MED length")
+                fields["med"] = struct.unpack("!I", payload)[0]
+            elif type_code == AttrType.LOCAL_PREF:
+                if length != 4:
+                    raise BGPAttributeError("bad LOCAL_PREF length")
+                fields["local_pref"] = struct.unpack("!I", payload)[0]
+            elif type_code == AttrType.ATOMIC_AGGREGATE:
+                if length != 0:
+                    raise BGPAttributeError("bad ATOMIC_AGGREGATE length")
+                fields["atomic_aggregate"] = True
+            elif type_code == AttrType.AGGREGATOR:
+                if length != 6:
+                    raise BGPAttributeError("bad AGGREGATOR length")
+                asn = struct.unpack_from("!H", payload)[0]
+                fields["aggregator"] = (asn, IPv4(payload[2:6]))
+            elif type_code == AttrType.COMMUNITY:
+                if length % 4:
+                    raise BGPAttributeError("bad COMMUNITY length")
+                fields["communities"] = struct.unpack(f"!{length // 4}I", payload)
+            elif not flags & FLAG_OPTIONAL:
+                raise BGPAttributeError(
+                    f"unrecognised well-known attribute {type_code}"
+                )
+            # Unknown optional attributes are tolerated (and dropped).
+        missing = {"origin", "as_path", "nexthop"} - set(fields)
+        if missing:
+            raise BGPAttributeError(f"missing mandatory attributes: {missing}")
+        return cls(**fields)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PathAttributeList)
+            and self._hash == other._hash
+            and self.origin == other.origin
+            and self.as_path == other.as_path
+            and self.nexthop == other.nexthop
+            and self.med == other.med
+            and self.local_pref == other.local_pref
+            and self.atomic_aggregate == other.atomic_aggregate
+            and self.aggregator == other.aggregator
+            and self.communities == other.communities
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        bits = [f"origin={self.origin.name}", f"as_path=[{self.as_path}]",
+                f"nexthop={self.nexthop}"]
+        if self.med is not None:
+            bits.append(f"med={self.med}")
+        if self.local_pref is not None:
+            bits.append(f"local_pref={self.local_pref}")
+        if self.communities:
+            bits.append(f"communities={self.communities}")
+        return f"<PathAttributeList {' '.join(bits)}>"

@@ -1,0 +1,226 @@
+"""The Fanout Queue stage (paper §5.1.1).
+
+    "The Fanout Queue, which duplicates routes for each peer and for the
+    RIB, is in practice complicated by the need to send routes to slow
+    peers. ... Since the outgoing filter banks modify routes in different
+    ways for different peers, the best place to queue changes is in the
+    fanout stage, after the routes have been chosen but before they have
+    been specialized.  The Fanout Queue module then maintains a single
+    route change queue, with n readers (one for each peer) referencing
+    it."
+
+Readers attach with a *background dump* of the existing winners (the
+route table a freshly-established peer must receive), correctly
+interleaved with live changes: at enqueue time each dumping reader is
+marked to receive the entry only if its dump already passed the prefix —
+otherwise the dump itself will deliver the post-change state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Set
+
+from repro.core.stages import RouteTableStage
+from repro.eventloop.tasks import TaskPriority
+from repro.net import IPNet
+from repro.trie import RouteTrie, TrieIterator
+
+ADD, DELETE, REPLACE = "add", "delete", "replace"
+
+
+class _QueueEntry:
+    __slots__ = ("serial", "op", "route", "old_route", "skip_readers")
+
+    def __init__(self, serial: int, op: str, route: Any, old_route: Any,
+                 skip_readers: Optional[Set[str]]):
+        self.serial = serial
+        self.op = op
+        self.route = route
+        self.old_route = old_route
+        self.skip_readers = skip_readers
+
+
+class Reader:
+    """One consumer of the change queue (a peer branch or the RIB branch)."""
+
+    __slots__ = ("name", "deliver", "next_serial", "busy", "dump_iterator",
+                 "dump_task", "dumped_count")
+
+    def __init__(self, name: str, deliver: Callable[[str, Any, Any], None],
+                 next_serial: int):
+        self.name = name
+        #: deliver(op, route, old_route)
+        self.deliver = deliver
+        self.next_serial = next_serial
+        self.busy = False
+        self.dump_iterator: Optional[TrieIterator] = None
+        self.dump_task = None
+        self.dumped_count = 0
+
+    @property
+    def dumping(self) -> bool:
+        return self.dump_iterator is not None
+
+    def dump_front_key(self):
+        """Key of the next route the dump will emit (None = past the end).
+
+        The iterator is parked *on* the next node to emit, so prefixes
+        ordered before it can never be reached by the dump and must be
+        delivered through the queue; prefixes at or after it will be
+        emitted by the dump in their post-change state.
+        """
+        iterator = self.dump_iterator
+        if iterator is None or iterator.exhausted:
+            return None
+        return iterator.net.key()
+
+
+class FanoutQueue(RouteTableStage):
+    """Single change queue, n readers, per-reader background dumps."""
+
+    def __init__(self, name: str, loop, *, bits: int = 32,
+                 dump_slice: int = 64):
+        super().__init__(name)
+        self.loop = loop
+        self.dump_slice = dump_slice
+        self.winners = RouteTrie(bits)
+        self.queue: Deque[_QueueEntry] = deque()
+        self._next_serial = 0
+        self.readers: Dict[str, Reader] = {}
+        self._pump_scheduled: Set[str] = set()
+
+    # -- reader management -----------------------------------------------------
+    def add_reader(self, name: str,
+                   deliver: Callable[[str, Any, Any], None], *,
+                   dump: bool = True) -> Reader:
+        """Attach a reader.
+
+        With ``dump=True`` the reader first receives every existing winner
+        as a background task, then seamlessly follows live changes.
+        """
+        if name in self.readers:
+            raise ValueError(f"fanout reader {name!r} already attached")
+        reader = Reader(name, deliver, self._next_serial)
+        self.readers[name] = reader
+        if dump and len(self.winners):
+            reader.dump_iterator = self.winners.iterator()
+            reader.dump_task = self.loop.spawn_task(
+                lambda: self._dump_slice(reader),
+                priority=TaskPriority.BACKGROUND,
+                name=f"{self.name}-dump-{name}",
+            )
+        return reader
+
+    def remove_reader(self, name: str) -> None:
+        reader = self.readers.pop(name, None)
+        if reader is None:
+            return
+        if reader.dump_task is not None:
+            reader.dump_task.kill()
+        if reader.dump_iterator is not None:
+            reader.dump_iterator.close()
+        self._trim()
+
+    def set_reader_busy(self, name: str, busy: bool) -> None:
+        """Flow control: a busy reader stops draining (slow peer)."""
+        reader = self.readers[name]
+        reader.busy = busy
+        if not busy:
+            self._schedule_pump(reader)
+
+    # -- stage messages ----------------------------------------------------
+    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+        self.winners.insert(route.net, route)
+        self._enqueue(ADD, route, None)
+
+    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+        self.winners.discard(route.net)
+        self._enqueue(DELETE, route, None)
+
+    def replace_route(self, old_route: Any, new_route: Any,
+                      caller: RouteTableStage = None) -> None:
+        self.winners.insert(new_route.net, new_route)
+        self._enqueue(REPLACE, new_route, old_route)
+
+    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+        return self.winners.exact(net)
+
+    # -- queueing --------------------------------------------------------
+    def _enqueue(self, op: str, route: Any, old_route: Any) -> None:
+        skip: Optional[Set[str]] = None
+        key = route.net.key()
+        for reader in self.readers.values():
+            if not reader.dumping:
+                continue
+            front = reader.dump_front_key()
+            if front is not None and key >= front:
+                # The dump will reach this prefix and emit the (already
+                # updated) winners-trie state; the queue must stay silent.
+                if skip is None:
+                    skip = set()
+                skip.add(reader.name)
+        entry = _QueueEntry(self._next_serial, op, route, old_route, skip)
+        self._next_serial += 1
+        self.queue.append(entry)
+        if not self.readers:
+            self.queue.clear()  # nobody will ever read this
+            return
+        for reader in self.readers.values():
+            self._schedule_pump(reader)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    def _schedule_pump(self, reader: Reader) -> None:
+        if reader.name in self._pump_scheduled or reader.busy:
+            return
+        self._pump_scheduled.add(reader.name)
+        self.loop.call_soon(self._pump, reader.name)
+
+    def _pump(self, name: str) -> None:
+        self._pump_scheduled.discard(name)
+        reader = self.readers.get(name)
+        if reader is None:
+            return
+        base = self.queue[0].serial if self.queue else self._next_serial
+        while not reader.busy and reader.next_serial < self._next_serial:
+            entry = self.queue[reader.next_serial - base]
+            reader.next_serial += 1
+            if entry.skip_readers is not None and name in entry.skip_readers:
+                continue
+            reader.deliver(entry.op, entry.route, entry.old_route)
+        self._trim()
+
+    def _trim(self) -> None:
+        if not self.readers:
+            self.queue.clear()
+            return
+        low_water = min(r.next_serial for r in self.readers.values())
+        while self.queue and self.queue[0].serial < low_water:
+            self.queue.popleft()
+
+    # -- background dumping ----------------------------------------------------
+    def _dump_slice(self, reader: Reader) -> bool:
+        if reader.name not in self.readers:
+            return False
+        budget = self.dump_slice
+        iterator = reader.dump_iterator
+        while budget > 0:
+            if reader.busy:
+                return True  # try again next idle moment
+            if iterator.exhausted:
+                break
+            if iterator.valid:
+                route = iterator.payload
+                reader.dumped_count += 1
+                reader.deliver(ADD, route, None)
+                budget -= 1
+            iterator.advance()
+        if iterator.exhausted:
+            iterator.close()
+            reader.dump_iterator = None
+            reader.dump_task = None
+            return False
+        return True

@@ -1,0 +1,230 @@
+"""The BGP peer finite state machine.
+
+Transport-agnostic: the FSM raises/receives events and calls an *actions*
+object for side effects (connect, send, tear down), so the same machine
+drives loopback test sessions and simulated-network byte streams.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Optional
+
+from repro.bgp.messages import (
+    BGPDecodeError,
+    ErrorCode,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+from repro.eventloop import EventLoop
+from repro.net import IPv4
+
+
+class BgpState(Enum):
+    IDLE = "Idle"
+    CONNECT = "Connect"
+    ACTIVE = "Active"
+    OPENSENT = "OpenSent"
+    OPENCONFIRM = "OpenConfirm"
+    ESTABLISHED = "Established"
+
+
+class FsmActions:
+    """Side effects the FSM needs from its owner (the peer handler)."""
+
+    def start_connect(self) -> None:
+        """Begin a transport connection attempt."""
+
+    def send_message(self, message) -> None:
+        """Transmit an encoded BGP message."""
+
+    def drop_connection(self) -> None:
+        """Tear down the transport."""
+
+    def session_established(self, peer_open: OpenMessage) -> None:
+        """The session reached ESTABLISHED."""
+
+    def session_down(self, reason: str) -> None:
+        """The session left ESTABLISHED."""
+
+    def update_received(self, update: UpdateMessage) -> None:
+        """An UPDATE arrived in ESTABLISHED."""
+
+
+class PeerFSM:
+    """One peering's state machine (paper Figure 2's per-peer box)."""
+
+    def __init__(self, loop: EventLoop, actions: FsmActions, *,
+                 local_as: int, bgp_id: IPv4,
+                 peer_as: Optional[int] = None,
+                 holdtime: int = 90,
+                 connect_retry_secs: float = 5.0,
+                 name: str = "peer"):
+        self.loop = loop
+        self.actions = actions
+        self.local_as = local_as
+        self.bgp_id = bgp_id
+        self.expected_peer_as = peer_as
+        self.configured_holdtime = holdtime
+        self.connect_retry_secs = connect_retry_secs
+        self.name = name
+        self.state = BgpState.IDLE
+        self.negotiated_holdtime = holdtime
+        self.peer_open: Optional[OpenMessage] = None
+        self._hold_timer = None
+        self._keepalive_timer = None
+        self._retry_timer = None
+        self.state_transitions = []  # (time, state) history for tests
+
+    # -- state bookkeeping --------------------------------------------------
+    def _set_state(self, state: BgpState) -> None:
+        previous = self.state
+        self.state = state
+        self.state_transitions.append((self.loop.now(), state))
+        if previous == BgpState.ESTABLISHED and state != BgpState.ESTABLISHED:
+            self._stop_session_timers()
+
+    def _stop_session_timers(self) -> None:
+        for timer in (self._hold_timer, self._keepalive_timer):
+            if timer is not None:
+                timer.cancel()
+        self._hold_timer = None
+        self._keepalive_timer = None
+
+    def _stop_retry_timer(self) -> None:
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+            self._retry_timer = None
+
+    # -- administrative events -----------------------------------------------
+    def manual_start(self) -> None:
+        if self.state != BgpState.IDLE:
+            return
+        self._set_state(BgpState.CONNECT)
+        self.actions.start_connect()
+
+    def manual_stop(self) -> None:
+        if self.state == BgpState.ESTABLISHED:
+            self.actions.send_message(NotificationMessage(ErrorCode.CEASE))
+            self.actions.session_down("administrative stop")
+        self._stop_session_timers()
+        self._stop_retry_timer()
+        self.actions.drop_connection()
+        self._set_state(BgpState.IDLE)
+
+    # -- transport events -------------------------------------------------------
+    def connection_opened(self) -> None:
+        """The transport is up (either direction)."""
+        if self.state not in (BgpState.CONNECT, BgpState.ACTIVE):
+            return
+        self._stop_retry_timer()
+        self.actions.send_message(OpenMessage(
+            self.local_as, self.configured_holdtime, self.bgp_id))
+        self._set_state(BgpState.OPENSENT)
+
+    def connection_failed(self) -> None:
+        if self.state == BgpState.IDLE:
+            return
+        was_established = self.state == BgpState.ESTABLISHED
+        if was_established:
+            self.actions.session_down("connection lost")
+        self.actions.drop_connection()
+        self._set_state(BgpState.ACTIVE)
+        self._retry_timer = self.loop.call_later(
+            self.connect_retry_secs, self._retry, name=f"{self.name}-retry")
+
+    def _retry(self) -> None:
+        if self.state == BgpState.ACTIVE:
+            self._set_state(BgpState.CONNECT)
+            self.actions.start_connect()
+
+    # -- message events -----------------------------------------------------
+    def message_received(self, message) -> None:
+        if isinstance(message, OpenMessage):
+            self._on_open(message)
+        elif isinstance(message, KeepaliveMessage):
+            self._on_keepalive()
+        elif isinstance(message, UpdateMessage):
+            self._on_update(message)
+        elif isinstance(message, NotificationMessage):
+            self._on_notification(message)
+
+    def decode_error(self, error: BGPDecodeError) -> None:
+        """A malformed message arrived: notify the peer and reset."""
+        self.actions.send_message(
+            NotificationMessage(error.code, error.subcode, error.data))
+        self._tear_down(f"decode error: {error}")
+
+    def _on_open(self, message: OpenMessage) -> None:
+        if self.state != BgpState.OPENSENT:
+            # An OPEN in any other state is an FSM error.
+            self.actions.send_message(
+                NotificationMessage(ErrorCode.FSM_ERROR))
+            self._tear_down("OPEN in wrong state")
+            return
+        if (self.expected_peer_as is not None
+                and message.asn != self.expected_peer_as):
+            self.actions.send_message(NotificationMessage(
+                ErrorCode.OPEN_MESSAGE_ERROR, 2))  # bad peer AS
+            self._tear_down(
+                f"peer AS {message.asn} != expected {self.expected_peer_as}")
+            return
+        self.peer_open = message
+        self.negotiated_holdtime = min(self.configured_holdtime,
+                                       message.holdtime)
+        self.actions.send_message(KeepaliveMessage())
+        self._set_state(BgpState.OPENCONFIRM)
+
+    def _on_keepalive(self) -> None:
+        if self.state == BgpState.OPENCONFIRM:
+            self._set_state(BgpState.ESTABLISHED)
+            self._start_session_timers()
+            self.actions.session_established(self.peer_open)
+        elif self.state == BgpState.ESTABLISHED:
+            self._restart_hold_timer()
+
+    def _on_update(self, message: UpdateMessage) -> None:
+        if self.state != BgpState.ESTABLISHED:
+            self.actions.send_message(NotificationMessage(ErrorCode.FSM_ERROR))
+            self._tear_down("UPDATE in wrong state")
+            return
+        self._restart_hold_timer()
+        self.actions.update_received(message)
+
+    def _on_notification(self, message: NotificationMessage) -> None:
+        self._tear_down(f"peer sent {message!r}", notify=False)
+
+    # -- timers --------------------------------------------------------------
+    def _start_session_timers(self) -> None:
+        if self.negotiated_holdtime > 0:
+            self._hold_timer = self.loop.call_later(
+                self.negotiated_holdtime, self._hold_expired,
+                name=f"{self.name}-hold")
+            keepalive_interval = max(1.0, self.negotiated_holdtime / 3.0)
+            self._keepalive_timer = self.loop.call_periodic(
+                keepalive_interval, self._send_keepalive,
+                name=f"{self.name}-keepalive")
+
+    def _restart_hold_timer(self) -> None:
+        if self._hold_timer is not None:
+            self._hold_timer.reschedule_after(self.negotiated_holdtime)
+
+    def _send_keepalive(self) -> None:
+        if self.state in (BgpState.ESTABLISHED, BgpState.OPENCONFIRM):
+            self.actions.send_message(KeepaliveMessage())
+
+    def _hold_expired(self) -> None:
+        self.actions.send_message(
+            NotificationMessage(ErrorCode.HOLD_TIMER_EXPIRED))
+        self._tear_down("hold timer expired", notify=False)
+
+    def _tear_down(self, reason: str, notify: bool = True) -> None:
+        if self.state == BgpState.ESTABLISHED:
+            self.actions.session_down(reason)
+        self._stop_session_timers()
+        self.actions.drop_connection()
+        self._set_state(BgpState.ACTIVE)
+        self._retry_timer = self.loop.call_later(
+            self.connect_retry_secs, self._retry, name=f"{self.name}-retry")

@@ -1,0 +1,93 @@
+"""BGP session transports.
+
+The peer handler talks to an abstract byte-stream session; concrete
+implementations are the in-memory pair below (unit tests, single-host
+experiments) and the simulated-network channel adapter in
+:mod:`repro.simnet`.  Both carry the *real* encoded BGP messages.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class BgpSession:
+    """Abstract reliable, in-order byte stream between two BGP speakers."""
+
+    def __init__(self) -> None:
+        self.on_connected: Optional[Callable[[], None]] = None
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_closed: Optional[Callable[[], None]] = None
+
+    def connect(self) -> None:
+        """Initiate the transport (idempotent)."""
+        raise NotImplementedError
+
+    def send(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def connected(self) -> bool:
+        raise NotImplementedError
+
+
+class LoopbackSession(BgpSession):
+    """One endpoint of an in-memory session pair."""
+
+    def __init__(self, loop, latency: float = 0.0):
+        super().__init__()
+        self._loop = loop
+        self._latency = latency
+        self._peer: Optional["LoopbackSession"] = None
+        self._connected = False
+
+    @property
+    def connected(self) -> bool:
+        return self._connected
+
+    def connect(self) -> None:
+        if self._connected or self._peer is None:
+            return
+        self._connected = True
+        self._peer._connected = True
+        self._loop.call_soon(self._notify_connected)
+        self._loop.call_soon(self._peer._notify_connected)
+
+    def _notify_connected(self) -> None:
+        if self._connected and self.on_connected is not None:
+            self.on_connected()
+
+    def send(self, data: bytes) -> None:
+        if not self._connected or self._peer is None:
+            return
+        peer = self._peer
+
+        def deliver() -> None:
+            if peer._connected and peer.on_data is not None:
+                peer.on_data(data)
+
+        if self._latency > 0:
+            self._loop.call_later(self._latency, deliver, name="bgp-session")
+        else:
+            self._loop.call_soon(deliver)
+
+    def close(self) -> None:
+        if not self._connected:
+            return
+        self._connected = False
+        peer = self._peer
+        if peer is not None and peer._connected:
+            peer._connected = False
+            if peer.on_closed is not None:
+                self._loop.call_soon(peer.on_closed)
+
+
+def session_pair(loop, latency: float = 0.0):
+    """A connected pair of loopback sessions (caller wires them to peers)."""
+    a, b = LoopbackSession(loop, latency), LoopbackSession(loop, latency)
+    a._peer = b
+    b._peer = a
+    return a, b

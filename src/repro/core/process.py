@@ -1,0 +1,121 @@
+"""The multi-process composition model (paper §4).
+
+    "The XORP control plane implements this functionality diagram as a set
+    of communicating processes.  Each routing protocol and management
+    function is implemented by a separate process, as are the RIB and the
+    FEA. ... This multi-process design limits the coupling between
+    components; misbehaving code, such as an experimental routing
+    protocol, cannot directly corrupt the memory of another process."
+
+In this Python reproduction a :class:`XorpProcess` is an isolated object
+with its own process token; the intra-process XRL family refuses to cross
+tokens, so processes really can only interact through XRLs, preserving the
+architectural boundary the paper's robustness argument rests on.
+
+A :class:`Host` groups the things processes on one machine share: the
+event loop, the Finder, and the protocol family instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.eventloop import EventLoop, SimulatedClock
+from repro.xrl import Finder, XrlRouter
+from repro.xrl.idl import XrlInterface
+from repro.xrl.router import new_process_token
+from repro.xrl.transport import IntraProcessFamily, KillFamily
+from repro.xrl.transport.base import ProtocolFamily
+from repro.xrl.transport.local import HostLocalFamily
+
+
+class Host:
+    """One machine: a shared event loop, Finder, and transport families."""
+
+    def __init__(self, loop: Optional[EventLoop] = None,
+                 finder: Optional[Finder] = None,
+                 extra_families: Optional[List[ProtocolFamily]] = None):
+        self.loop = loop if loop is not None else EventLoop(SimulatedClock())
+        self.finder = finder if finder is not None else Finder()
+        self.intra_family = IntraProcessFamily()
+        self.local_family = HostLocalFamily()
+        self.kill_family = KillFamily()
+        self.families: List[ProtocolFamily] = [self.intra_family,
+                                               self.local_family]
+        if extra_families:
+            self.families.extend(extra_families)
+        self.processes: Dict[str, "XorpProcess"] = {}
+
+    def add_process(self, process: "XorpProcess") -> None:
+        self.processes[process.name] = process
+
+    def shutdown(self) -> None:
+        for process in list(self.processes.values()):
+            process.shutdown()
+
+
+class XorpProcess:
+    """Base class for one control-plane process (BGP, RIB, FEA, ...).
+
+    Subclasses typically:
+
+    * create one or more components via :meth:`create_router`;
+    * bind IDL interfaces to implementation objects;
+    * start timers and background tasks on ``self.loop``.
+    """
+
+    #: the component class name this process registers under
+    process_name = "process"
+
+    def __init__(self, host: Host, name: Optional[str] = None):
+        self.host = host
+        self.loop = host.loop
+        self.name = name if name is not None else self.process_name
+        self.process_token = new_process_token()
+        self.routers: List[XrlRouter] = []
+        self._kill_address = host.kill_family.listen(self)
+        self._running = True
+        host.add_process(self)
+
+    # -- component management ------------------------------------------------
+    def create_router(self, class_name: Optional[str] = None, *,
+                      singleton: bool = False,
+                      instance_name: Optional[str] = None) -> XrlRouter:
+        """Create an XRL component endpoint owned by this process."""
+        router = XrlRouter(
+            self.loop,
+            class_name if class_name is not None else self.name,
+            self.host.finder,
+            instance_name=instance_name,
+            singleton=singleton,
+            families=list(self.host.families),
+            process_token=self.process_token,
+        )
+        self.routers.append(router)
+        return router
+
+    def bind(self, router: XrlRouter, interface: XrlInterface, impl=None) -> None:
+        """Bind *interface* on *router* to *impl* (default: this process)."""
+        router.bind(interface, impl if impl is not None else self)
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def on_signal(self, signal_number: int) -> None:
+        """Kill protocol family entry point."""
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Deregister all components; subclasses extend to stop timers."""
+        if not self._running:
+            return
+        self._running = False
+        for router in self.routers:
+            router.shutdown()
+        self.host.kill_family.unlisten(self._kill_address)
+        self.host.processes.pop(self.name, None)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,362 @@
+"""The staged routing-table framework (paper §5).
+
+    "Rather than a single, shared, passive table that stores information
+    and annotations, we implement routing tables as dynamic processes
+    through which routes flow.  There is no single routing table object,
+    but rather a network of pluggable routing stages, each implementing
+    the same interface."
+
+The stage API is exactly the paper's:
+
+* ``add_route`` — a preceding stage is sending a new route downstream;
+* ``delete_route`` — a preceding stage is withdrawing an old route;
+* ``lookup_route`` — a *later* stage is asking upstream for the route to a
+  destination subnet.
+
+with the two consistency rules:
+
+1. any ``delete_route`` must correspond to a previous ``add_route``;
+2. the result of ``lookup_route`` must be consistent with previous
+   ``add_route`` / ``delete_route`` messages sent downstream.
+
+Routes are any objects with a ``.net`` attribute (an :class:`IPNet`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.net import IPNet
+from repro.trie import RouteTrie
+
+
+class ConsistencyError(AssertionError):
+    """A stage observed a violation of the consistency rules."""
+
+
+class RouteTableStage:
+    """Base stage: forwards everything, knows its neighbours.
+
+    ``parent`` is the upstream neighbour (towards route origin), and
+    ``next_table`` the downstream one (towards consumers).  Stages with
+    several parents (decision, merge) track them themselves and use the
+    *caller* argument to tell parents apart.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.parent: Optional["RouteTableStage"] = None
+        self.next_table: Optional["RouteTableStage"] = None
+
+    # -- plumbing ------------------------------------------------------------
+    def set_next(self, downstream: Optional["RouteTableStage"]) -> None:
+        self.next_table = downstream
+        if downstream is not None:
+            downstream.parent = self
+
+    @staticmethod
+    def plumb(*stages: "RouteTableStage") -> None:
+        """Connect *stages* into a linear pipeline, left-to-right."""
+        for upstream, downstream in zip(stages, stages[1:]):
+            upstream.set_next(downstream)
+
+    def insert_downstream(self, new_stage: "RouteTableStage") -> None:
+        """Dynamically plumb *new_stage* directly after this stage.
+
+        This is how dynamic stages (deletion stages, policy re-filter
+        stages) are spliced in at runtime (paper §5.1.2, Figure 6).
+        """
+        downstream = self.next_table
+        self.set_next(new_stage)
+        new_stage.set_next(downstream)
+
+    def unplumb(self) -> None:
+        """Remove this stage from a linear pipeline, reconnecting neighbours."""
+        upstream, downstream = self.parent, self.next_table
+        if upstream is not None and upstream.next_table is self:
+            upstream.next_table = downstream
+        if downstream is not None and downstream.parent is self:
+            downstream.parent = upstream
+        self.parent = None
+        self.next_table = None
+
+    # -- the stage message API (paper §5.1) -----------------------------------
+    def add_route(self, route: Any, caller: "RouteTableStage" = None) -> None:
+        """Receive a new route from upstream; default: pass it on."""
+        if self.next_table is not None:
+            self.next_table.add_route(route, self)
+
+    def delete_route(self, route: Any, caller: "RouteTableStage" = None) -> None:
+        """Receive a withdrawal from upstream; default: pass it on."""
+        if self.next_table is not None:
+            self.next_table.delete_route(route, self)
+
+    def replace_route(self, old_route: Any, new_route: Any,
+                      caller: "RouteTableStage" = None) -> None:
+        """Atomic delete+add for the same prefix; default decomposition."""
+        if self.next_table is not None:
+            self.next_table.replace_route(old_route, new_route, self)
+
+    def lookup_route(self, net: IPNet, caller: "RouteTableStage" = None) -> Any:
+        """A later stage asks for the route to *net*; default: ask upstream.
+
+        "If the stage cannot answer the request itself, it should pass the
+        request upstream to the preceding stage."
+        """
+        if self.parent is not None:
+            return self.parent.lookup_route(net, self)
+        return None
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class OriginStage(RouteTableStage):
+    """A stage that *stores* routes and feeds them into the pipeline.
+
+    "we only store the original versions of routes, in the Peer In
+    stages" — BGP's PeerIn and the RIB's origin tables derive from this.
+    """
+
+    def __init__(self, name: str, bits: int = 32):
+        super().__init__(name)
+        self.routes = RouteTrie(bits)
+
+    @property
+    def route_count(self) -> int:
+        return len(self.routes)
+
+    def originate(self, route: Any) -> None:
+        """Inject *route*; replaces any previous route for the same prefix."""
+        previous = self.routes.insert(route.net, route)
+        if self.next_table is None:
+            return
+        if previous is not None:
+            self.next_table.replace_route(previous, route, self)
+        else:
+            self.next_table.add_route(route, self)
+
+    def withdraw(self, net: IPNet) -> Any:
+        """Withdraw the route for *net*; returns it (KeyError if absent)."""
+        route = self.routes.remove(net)
+        if self.next_table is not None:
+            self.next_table.delete_route(route, self)
+        return route
+
+    def withdraw_if_present(self, net: IPNet) -> Any:
+        route = self.routes.discard(net)
+        if route is not None and self.next_table is not None:
+            self.next_table.delete_route(route, self)
+        return route
+
+    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+        return self.routes.exact(net)
+
+    # Origin stages answer dumps: iterate stored routes safely.
+    def route_iterator(self):
+        return self.routes.iterator()
+
+
+class FilterStage(RouteTableStage):
+    """A filter bank element: drop or rewrite routes flowing downstream.
+
+    *filter_fn(route)* returns None to drop, the same route to pass, or a
+    modified route.  The function must be deterministic, so a later
+    ``delete_route`` for the original route maps to the same output the
+    earlier ``add_route`` produced — preserving consistency rule 1.
+    """
+
+    def __init__(self, name: str, filter_fn: Callable[[Any], Optional[Any]]):
+        super().__init__(name)
+        self.filter_fn = filter_fn
+
+    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+        filtered = self.filter_fn(route)
+        if filtered is not None and self.next_table is not None:
+            self.next_table.add_route(filtered, self)
+
+    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+        filtered = self.filter_fn(route)
+        if filtered is not None and self.next_table is not None:
+            self.next_table.delete_route(filtered, self)
+
+    def replace_route(self, old_route: Any, new_route: Any,
+                      caller: RouteTableStage = None) -> None:
+        old_filtered = self.filter_fn(old_route)
+        new_filtered = self.filter_fn(new_route)
+        if self.next_table is None:
+            return
+        if old_filtered is not None and new_filtered is not None:
+            self.next_table.replace_route(old_filtered, new_filtered, self)
+        elif old_filtered is not None:
+            self.next_table.delete_route(old_filtered, self)
+        elif new_filtered is not None:
+            self.next_table.add_route(new_filtered, self)
+
+    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+        if self.parent is None:
+            return None
+        route = self.parent.lookup_route(net, self)
+        if route is None:
+            return None
+        return self.filter_fn(route)
+
+
+class ConsistencyCheckStage(RouteTableStage):
+    """The paper's debugging *cache stage* (§5.1).
+
+    "we have developed an extra consistency checking stage for debugging
+    purposes. ... [it] has helped us discover many subtle bugs that would
+    otherwise have gone undetected."
+
+    It caches every route announced downstream and raises
+    :class:`ConsistencyError` when the rules are violated.  It answers
+    ``lookup_route`` from the cache.
+    """
+
+    def __init__(self, name: str, bits: int = 32, *, strict_lookup: bool = False):
+        super().__init__(name)
+        self.cache = RouteTrie(bits)
+        self.checks_failed = 0
+        self.strict_lookup = strict_lookup
+
+    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+        if self.cache.exact(route.net) is not None:
+            self.checks_failed += 1
+            raise ConsistencyError(
+                f"{self.name}: add_route for {route.net} but it was already "
+                "added and never deleted (rule 1)"
+            )
+        self.cache.insert(route.net, route)
+        super().add_route(route, caller)
+
+    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+        cached = self.cache.exact(route.net)
+        if cached is None:
+            self.checks_failed += 1
+            raise ConsistencyError(
+                f"{self.name}: delete_route for {route.net} without a "
+                "corresponding add_route (rule 1)"
+            )
+        self.cache.remove(route.net)
+        super().delete_route(route, caller)
+
+    def replace_route(self, old_route: Any, new_route: Any,
+                      caller: RouteTableStage = None) -> None:
+        cached = self.cache.exact(old_route.net)
+        if cached is None:
+            self.checks_failed += 1
+            raise ConsistencyError(
+                f"{self.name}: replace_route for {old_route.net} but that "
+                "prefix was never added (rule 1)"
+            )
+        self.cache.remove(old_route.net)
+        self.cache.insert(new_route.net, new_route)
+        super().replace_route(old_route, new_route, caller)
+
+    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+        cached = self.cache.exact(net)
+        if cached is not None:
+            return cached
+        # Rule 2: upstream must agree with what we've seen flow past.  In
+        # strict mode (single-branch pipelines) a route upstream that was
+        # never announced downstream is a violation; in multi-branch
+        # pipelines lookups legitimately see unannounced alternatives.
+        upstream = super().lookup_route(net, caller)
+        if upstream is not None and self.strict_lookup:
+            raise ConsistencyError(
+                f"{self.name}: lookup_route({net}) found an upstream route "
+                "that was never announced downstream (rule 2)"
+            )
+        return upstream
+
+
+class DeletionStage(RouteTableStage):
+    """Dynamic background-deletion stage (paper §5.1.2, Figure 6).
+
+    When a peering goes down, its route table is handed to a new deletion
+    stage plumbed directly after the origin stage; the origin immediately
+    starts fresh and empty, while this stage deletes the old routes in
+    background slices — preserving consistency throughout:
+
+    * an ``add_route`` from upstream for a prefix still held here first
+      emits the pending ``delete_route`` downstream, then the add;
+    * ``lookup_route`` keeps answering with not-yet-deleted routes;
+    * when done, the stage unplumbs and discards itself.
+    """
+
+    def __init__(self, name: str, loop, routes: RouteTrie, *,
+                 slice_size: int = 64,
+                 on_complete: Optional[Callable[[], None]] = None):
+        super().__init__(name)
+        self.loop = loop
+        self.pending = routes
+        self.slice_size = slice_size
+        self._iterator = routes.iterator()
+        self._task = None
+        self._on_complete = on_complete
+
+    def start(self) -> None:
+        """Begin background deletion (call after plumbing in)."""
+        from repro.eventloop.tasks import TaskPriority
+
+        self._task = self.loop.spawn_task(
+            self._run_slice, priority=TaskPriority.BACKGROUND,
+            name=f"{self.name}-deletion",
+        )
+
+    def _run_slice(self) -> bool:
+        budget = self.slice_size
+        while budget > 0:
+            if self._iterator.exhausted:
+                self._finish()
+                return False
+            if not self._iterator.valid:
+                self._iterator.advance()
+                continue
+            net = self._iterator.net
+            route = self._iterator.payload
+            self._iterator.advance()
+            self.pending.discard(net)
+            if self.next_table is not None:
+                self.next_table.delete_route(route, self)
+            budget -= 1
+        if len(self.pending) == 0 and self._iterator.exhausted:
+            self._finish()
+            return False
+        return True
+
+    def _finish(self) -> None:
+        self._iterator.close()
+        if self.parent is not None or self.next_table is not None:
+            self.unplumb()
+        if self._on_complete is not None:
+            on_complete, self._on_complete = self._on_complete, None
+            on_complete()
+
+    @property
+    def done(self) -> bool:
+        return len(self.pending) == 0 and self._iterator.exhausted
+
+    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+        held = self.pending.discard(route.net)
+        if held is not None and self.next_table is not None:
+            # "first it sends a delete route downstream for the old route,
+            # and then it sends the add route for the new route."
+            self.next_table.delete_route(held, self)
+        super().add_route(route, caller)
+
+    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+        # Upstream deletes refer to its own (new-generation) routes; a held
+        # prefix can't also exist upstream, so simply forward.
+        super().delete_route(route, caller)
+
+    def replace_route(self, old_route: Any, new_route: Any,
+                      caller: RouteTableStage = None) -> None:
+        super().replace_route(old_route, new_route, caller)
+
+    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+        held = self.pending.exact(net)
+        if held is not None:
+            return held
+        return super().lookup_route(net, caller)

@@ -1,0 +1,73 @@
+"""Pipelined XRL transmit queue.
+
+    "We should emphasize that the XRL interface is pipelined, so
+    performance is still good when many routes change in a short time
+    interval."  (paper §8.2)
+
+Processes that stream route changes to another process (BGP → RIB,
+RIB → FEA) queue the XRLs here; up to *window* calls are outstanding at a
+time.  The queue exposes the two moments the paper's profiling measures:
+*queued for transmission* (enqueue) and *sent* (handed to the transport).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.xrl import XrlArgs, XrlError, XrlRouter
+from repro.xrl.xrl import Xrl
+
+
+class XrlTransmitQueue:
+    """Window-limited pipelined sender of XRLs to one or more targets."""
+
+    def __init__(self, router: XrlRouter, *, window: int = 100,
+                 on_error: Optional[Callable[[Xrl, XrlError], None]] = None):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._router = router
+        self._window = window
+        self._queue: Deque[Tuple[Xrl, Optional[Callable], Optional[Callable]]] = deque()
+        self._inflight = 0
+        self._on_error = on_error
+        self.sent_count = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue and self._inflight == 0
+
+    def enqueue(self, xrl: Xrl,
+                on_sent: Optional[Callable[[], None]] = None,
+                on_reply: Optional[Callable[[XrlError, XrlArgs], None]] = None
+                ) -> None:
+        """Queue *xrl*; *on_sent* fires when it is handed to the transport."""
+        self._queue.append((xrl, on_sent, on_reply))
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._inflight < self._window and self._queue:
+            xrl, on_sent, on_reply = self._queue.popleft()
+            self._inflight += 1
+            self.sent_count += 1
+            if on_sent is not None:
+                on_sent()
+            self._router.send(xrl, self._completion(xrl, on_reply))
+
+    def _completion(self, xrl: Xrl, on_reply) -> Callable:
+        def done(error: XrlError, args: XrlArgs) -> None:
+            self._inflight -= 1
+            if not error.is_okay and self._on_error is not None:
+                self._on_error(xrl, error)
+            if on_reply is not None:
+                on_reply(error, args)
+            self._pump()
+
+        return done

@@ -1,0 +1,58 @@
+"""Callback objects with creation-time currying (paper §4).
+
+XORP's callbacks are "type-safe C++ functors [that] allow for the currying
+of additional arguments at creation time".  Python gives us most of this for
+free, but a dedicated :class:`Callback` object adds two things the router
+code relies on:
+
+* **invalidation** — a callback can be disabled after its owner goes away,
+  so a late-firing timer cannot touch a dead object;
+* **introspection** — a printable name for debugging dispatch problems.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class Callback:
+    """A callable with curried arguments and an invalidation switch."""
+
+    __slots__ = ("_fn", "_args", "_kwargs", "_valid", "name")
+
+    def __init__(self, fn: Callable, *args: Any, name: Optional[str] = None, **kwargs: Any):
+        if not callable(fn):
+            raise TypeError(f"Callback target {fn!r} is not callable")
+        self._fn = fn
+        self._args = args
+        self._kwargs = kwargs
+        self._valid = True
+        self.name = name or getattr(fn, "__qualname__", repr(fn))
+
+    def __call__(self, *late_args: Any, **late_kwargs: Any) -> Any:
+        """Dispatch: curried arguments first, then dispatch-time arguments."""
+        if not self._valid:
+            return None
+        if late_kwargs:
+            merged = dict(self._kwargs)
+            merged.update(late_kwargs)
+        else:
+            merged = self._kwargs
+        return self._fn(*self._args, *late_args, **merged)
+
+    def invalidate(self) -> None:
+        """Disable the callback; subsequent dispatches become no-ops."""
+        self._valid = False
+
+    @property
+    def is_valid(self) -> bool:
+        return self._valid
+
+    def __repr__(self) -> str:
+        state = "" if self._valid else " (invalidated)"
+        return f"<Callback {self.name}{state}>"
+
+
+def callback(fn: Callable, *args: Any, **kwargs: Any) -> Callback:
+    """Create a :class:`Callback`, currying *args*/*kwargs* now."""
+    return Callback(fn, *args, **kwargs)

@@ -1,0 +1,53 @@
+"""Clock abstraction separating the event loop from wall time."""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Source of the event loop's notion of "now" (seconds, float)."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def is_simulated(self) -> bool:
+        return False
+
+
+class SystemClock(Clock):
+    """Wall-clock time via :func:`time.monotonic`."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class SimulatedClock(Clock):
+    """Deterministic virtual time.
+
+    The clock never moves on its own; the event loop advances it to the next
+    timer deadline when it runs out of ready work.  Tests may also advance it
+    explicitly.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def is_simulated(self) -> bool:
+        return True
+
+    def advance(self, delta: float) -> None:
+        """Move time forward by *delta* seconds (never backwards)."""
+        if delta < 0:
+            raise ValueError(f"cannot advance clock by negative delta {delta}")
+        self._now += delta
+
+    def advance_to(self, deadline: float) -> None:
+        """Move time forward to *deadline* if it is in the future."""
+        if deadline > self._now:
+            self._now = deadline

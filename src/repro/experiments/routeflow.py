@@ -1,0 +1,223 @@
+"""Figure 13: BGP route latency induced by a router.
+
+    "We introduced 255 routes from one BGP peer at one second intervals
+    and recorded the time that the route appeared at another BGP peer.
+    The experiment was performed on XORP, Cisco-4500, Quagga-0.96.5, and
+    MRTD-2.2.2a routers. ... This experiment clearly shows the consistent
+    behavior achieved by XORP, where the delay never exceeds one second."
+
+Topology: source peer -> router under test -> sink peer.  The router
+under test is either our full XORP-style stack (BGP + RIB + FEA processes
+over XRLs) or one of the behavioural baselines (event-driven monolithic
+"MRTD", 30-second route scanner "Cisco"/"Quagga").  Time is simulated, so
+a 500-second experiment runs in well under a second of wall time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bgp import BgpProcess, BgpState
+from repro.bgp.attributes import ASPath, Origin, PathAttributeList
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.peer import PeerConfig
+from repro.bgp.session import session_pair
+from repro.core.process import Host
+from repro.eventloop import EventLoop, SimulatedClock
+from repro.net import IPNet, IPv4
+from repro.simnet.baselines import (
+    EventDrivenRouterModel,
+    ScannerRouterModel,
+    _BaselineRouter,
+)
+
+SOURCE_AS = 65001
+DUT_AS = 65002
+SINK_AS = 65003
+
+ROUTER_KINDS = ("xorp", "mrtd", "cisco", "quagga")
+
+
+class _Source(_BaselineRouter):
+    def update_from_peer(self, peer, update):
+        pass
+
+    def inject(self, update: UpdateMessage) -> None:
+        next(iter(self.peers.values())).send_message(update)
+
+
+class _Sink(_BaselineRouter):
+    def __init__(self, loop, name, local_as, bgp_id):
+        super().__init__(loop, name, local_as, bgp_id)
+        self.arrivals: List[Tuple[float, IPNet]] = []
+
+    def update_from_peer(self, peer, update):
+        for net in update.nlri:
+            self.arrivals.append((self.loop.now(), net))
+
+
+class RouteFlowResult:
+    """Propagation delays per router kind."""
+
+    def __init__(self) -> None:
+        #: kind -> list of (inject_time, delay_seconds)
+        self.series: Dict[str, List[Tuple[float, float]]] = {}
+
+    def record(self, kind: str, series: List[Tuple[float, float]]) -> None:
+        self.series[kind] = series
+
+    def max_delay(self, kind: str) -> float:
+        return max(d for __, d in self.series[kind])
+
+    def mean_delay(self, kind: str) -> float:
+        delays = [d for __, d in self.series[kind]]
+        return sum(delays) / len(delays)
+
+    def table(self, granularity: float = 1.0) -> str:
+        """Summary table plus a coarse sawtooth rendering."""
+        lines = ["BGP route latency induced by a router",
+                 f"{'router':>8} {'mean(s)':>9} {'max(s)':>8} "
+                 f"{'>1s':>6} {'routes':>7}"]
+        for kind in self.series:
+            delays = [d for __, d in self.series[kind]]
+            over = sum(1 for d in delays if d > granularity)
+            lines.append(
+                f"{kind:>8} {self.mean_delay(kind):>9.2f} "
+                f"{self.max_delay(kind):>8.2f} {over:>6} {len(delays):>7}")
+        return "\n".join(lines)
+
+    def ascii_plot(self, kind: str, width: int = 64) -> str:
+        """A rough Figure 13-style scatter (delay vs injection time)."""
+        series = self.series[kind]
+        if not series:
+            return "(empty)"
+        max_delay = max(max(d for __, d in series), 1.0)
+        t_max = max(t for t, __ in series)
+        rows = 12
+        grid = [[" "] * width for __ in range(rows)]
+        for t, d in series:
+            x = min(width - 1, int(t / max(t_max, 1) * (width - 1)))
+            y = min(rows - 1, int(d / max_delay * (rows - 1)))
+            grid[rows - 1 - y][x] = "*"
+        out = [f"{kind}: delay 0..{max_delay:.1f}s over 0..{t_max:.0f}s"]
+        out.extend("".join(row) for row in grid)
+        return "\n".join(out)
+
+
+def _build_xorp_dut(loop: EventLoop):
+    """The real stack as the device under test."""
+    host = Host(loop=loop)
+    from repro.fea import FeaProcess
+    from repro.rib import RibProcess
+    from repro.xrl import Xrl, XrlArgs
+
+    fea = FeaProcess(host)
+    rib = RibProcess(host)
+    bgp = BgpProcess(host, local_as=DUT_AS, bgp_id=IPv4("2.2.2.2"))
+    # Nexthop resolvability for both peerings.
+    args = (XrlArgs().add_txt("protocol", "static")
+            .add_ipv4net("net", "10.0.0.0/8").add_ipv4("nexthop", "0.0.0.0")
+            .add_u32("metric", 1).add_list("policytags", []))
+    error, __ = bgp.xrl.send_sync(Xrl("rib", "rib", "1.0", "add_route4", args),
+                                  timeout=10)
+    if not error.is_okay:
+        raise RuntimeError(str(error))
+
+    class _XorpAdapter:
+        """Gives the real stack the baseline-model peering interface."""
+
+        def __init__(self) -> None:
+            self.handlers = []
+
+        def add_handler(self, peer_addr, peer_as, local_addr):
+            handler = bgp.add_peer(PeerConfig(
+                IPv4(peer_addr), peer_as, DUT_AS, IPv4(local_addr)))
+            self.handlers.append(handler)
+            return handler
+
+    return _XorpAdapter()
+
+
+def run_route_flow(kinds: Optional[List[str]] = None, *,
+                   route_count: int = 255,
+                   interval: float = 1.0,
+                   scan_interval: float = 30.0,
+                   session_latency: float = 0.005,
+                   progress: Optional[Callable[[str], None]] = None
+                   ) -> RouteFlowResult:
+    """Run the Figure 13 experiment for each router kind."""
+    if kinds is None:
+        kinds = list(ROUTER_KINDS)
+    result = RouteFlowResult()
+    for kind in kinds:
+        loop = EventLoop(SimulatedClock())
+        source = _Source(loop, "source", SOURCE_AS, "1.1.1.1")
+        sink = _Sink(loop, "sink", SINK_AS, "3.3.3.3")
+        source_peer = source.add_peer("dut", DUT_AS)
+        sink_peer = sink.add_peer("dut", DUT_AS)
+        to_watch = [source_peer.fsm, sink_peer.fsm]
+
+        if kind == "xorp":
+            adapter = _build_xorp_dut(loop)
+            in_handler = adapter.add_handler("10.0.0.1", SOURCE_AS, "10.0.0.2")
+            out_handler = adapter.add_handler("10.0.1.1", SINK_AS, "10.0.1.2")
+            s1, s2 = session_pair(loop, session_latency)
+            source_peer.attach_session(s1)
+            in_handler.attach_session(s2)
+            s3, s4 = session_pair(loop, session_latency)
+            out_handler.attach_session(s3)
+            sink_peer.attach_session(s4)
+            in_handler.enable()
+            out_handler.enable()
+            to_watch.extend([in_handler.fsm, out_handler.fsm])
+        else:
+            if kind == "mrtd":
+                dut: _BaselineRouter = EventDrivenRouterModel(
+                    loop, kind, DUT_AS, "2.2.2.2")
+            else:  # cisco / quagga: the 30-second scanner design
+                dut = ScannerRouterModel(loop, kind, DUT_AS, "2.2.2.2",
+                                         scan_interval=scan_interval)
+            dut_in = dut.add_peer("in", SOURCE_AS)
+            dut_out = dut.add_peer("out", SINK_AS)
+            s1, s2 = session_pair(loop, session_latency)
+            source_peer.attach_session(s1)
+            dut_in.attach_session(s2)
+            s3, s4 = session_pair(loop, session_latency)
+            dut_out.attach_session(s3)
+            sink_peer.attach_session(s4)
+            dut.start()
+            to_watch.extend([dut_in.fsm, dut_out.fsm])
+
+        source.start()
+        sink.start()
+        if not loop.run_until(
+                lambda: all(f.state == BgpState.ESTABLISHED for f in to_watch),
+                timeout=120.0):
+            raise RuntimeError(f"{kind}: sessions failed to establish")
+
+        attrs = PathAttributeList(origin=Origin.IGP,
+                                  as_path=ASPath.from_sequence(SOURCE_AS),
+                                  nexthop=IPv4("10.0.0.1"))
+        inject_times: Dict = {}
+        start = loop.now()
+        for index in range(route_count):
+            when = start + (index + 1) * interval
+            prefix = IPNet(IPv4(0xC6120000 + (index << 8)), 24)  # 198.18.x.0/24
+            inject_times[prefix.key()] = when
+            loop.call_at(when, lambda p=prefix: source.inject(
+                UpdateMessage(attributes=attrs, nlri=[p])))
+        if not loop.run_until(lambda: len(sink.arrivals) >= route_count,
+                              timeout=route_count * interval
+                              + 4 * scan_interval + 120):
+            raise RuntimeError(
+                f"{kind}: only {len(sink.arrivals)}/{route_count} arrived")
+        series = []
+        for arrival_time, net in sink.arrivals:
+            injected = inject_times.get(net.key())
+            if injected is not None:
+                series.append((injected - start, arrival_time - injected))
+        series.sort()
+        result.record(kind, series)
+        if progress is not None:
+            progress(f"{kind}: max delay {result.max_delay(kind):.2f}s")
+    return result

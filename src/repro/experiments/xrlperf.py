@@ -1,0 +1,154 @@
+"""Figure 9: XRL throughput versus argument count.
+
+    "To measure the XRL rate, we send a transaction of 10000 XRLs using a
+    pipeline size of 100 XRLs.  Initially, the sender sends 100 XRLs
+    back-to-back, and then for every XRL response received it sends a new
+    request. ... We evaluate three communication transport mechanisms:
+    TCP, UDP and Intra-Process direct calling ..."
+
+UDP deliberately does not pipeline (the family enforces stop-and-wait),
+reproducing the paper's illustration of what pipelining buys.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Dict, List, Optional
+
+from repro.eventloop import EventLoop, SystemClock
+from repro.xrl import Finder, Xrl, XrlArgs, XrlRouter, parse_idl
+from repro.xrl.transport import IntraProcessFamily, TcpFamily, UdpFamily
+
+ECHO_IDL = parse_idl("""
+interface bench/1.0 {
+    noargs;
+}
+""")["bench/1.0"]
+
+
+class _EchoTarget:
+    def xrl_noargs(self):
+        return None
+
+
+class XrlPerfResult:
+    """XRLs/sec per (family, argument count), with repetitions."""
+
+    def __init__(self) -> None:
+        self.rates: Dict[str, Dict[int, List[float]]] = {}
+
+    def record(self, family: str, arg_count: int, rate: float) -> None:
+        self.rates.setdefault(family, {}).setdefault(arg_count, []).append(rate)
+
+    def mean(self, family: str, arg_count: int) -> float:
+        return statistics.mean(self.rates[family][arg_count])
+
+    def stdev(self, family: str, arg_count: int) -> float:
+        samples = self.rates[family][arg_count]
+        return statistics.stdev(samples) if len(samples) > 1 else 0.0
+
+    def table(self) -> str:
+        """Render the Figure 9 series as text."""
+        lines = ["XRL performance for various communication families",
+                 f"{'args':>5} " + " ".join(
+                     f"{family:>14}" for family in sorted(self.rates))]
+        arg_counts = sorted({a for fam in self.rates.values() for a in fam})
+        for arg_count in arg_counts:
+            row = [f"{arg_count:>5}"]
+            for family in sorted(self.rates):
+                row.append(f"{self.mean(family, arg_count):>10.0f} /s")
+            lines.append(" ".join(row))
+        return "\n".join(lines)
+
+
+def _measure_transaction(loop: EventLoop, client: XrlRouter, target: str,
+                         arg_count: int, transaction_size: int,
+                         window: int) -> float:
+    """One transaction; returns XRLs/sec (wall clock)."""
+    args = XrlArgs()
+    for index in range(arg_count):
+        args.add_u32(f"a{index}", index)
+    xrl = Xrl(target, "bench", "1.0", "noargs", args)
+    completed = [0]
+    outstanding = [0]
+    sent = [0]
+
+    def pump() -> None:
+        while outstanding[0] < window and sent[0] < transaction_size:
+            sent[0] += 1
+            outstanding[0] += 1
+            client.send(xrl, on_reply)
+
+    def on_reply(error, response) -> None:
+        outstanding[0] -= 1
+        completed[0] += 1
+        pump()
+
+    start = time.perf_counter()
+    pump()
+    finished = loop.run_until(lambda: completed[0] >= transaction_size,
+                              timeout=120.0)
+    elapsed = time.perf_counter() - start
+    if not finished:
+        raise RuntimeError(
+            f"XRL transaction did not finish: {completed[0]}/{transaction_size}"
+        )
+    return transaction_size / elapsed
+
+
+def run_xrl_throughput(arg_counts: Optional[List[int]] = None, *,
+                       transaction_size: int = 10000,
+                       window: int = 100,
+                       repetitions: int = 1,
+                       families: Optional[List[str]] = None) -> XrlPerfResult:
+    """Run the Figure 9 experiment; returns the rate table.
+
+    The receiving target ignores its arguments (the paper measures
+    marshal + transport + dispatch, not handler work), so one ``noargs``
+    method accepts any argument list via a raw registration.
+    """
+    if arg_counts is None:
+        arg_counts = [0, 5, 10, 15, 20, 25]
+    if families is None:
+        families = ["intra", "tcp", "udp"]
+    result = XrlPerfResult()
+    for family_name in families:
+        loop = EventLoop(SystemClock())
+        finder = Finder()
+        if family_name == "intra":
+            family = IntraProcessFamily()
+            token: Optional[int] = 77  # sender and receiver share a process
+        elif family_name == "local":
+            # Two processes on the same host (paper §8.1 footnote 1:
+            # "very slightly worse" than intra-process).
+            from repro.xrl.transport.local import HostLocalFamily
+
+            family = HostLocalFamily()
+            token = None
+        elif family_name == "tcp":
+            family = TcpFamily()
+            token = None
+        elif family_name == "udp":
+            family = UdpFamily()
+            token = None
+        else:
+            raise ValueError(f"unknown family {family_name!r}")
+        server = XrlRouter(loop, "bench", finder, families=[family],
+                           process_token=token)
+        # Raw registration: accept any arguments, return nothing.
+        server.register_raw_method("bench/1.0/noargs", lambda args: None)
+        client = XrlRouter(loop, "caller", finder, families=[family],
+                           process_token=token)
+        effective_window = window if family_name != "udp" else window
+        # (The UDP family itself serialises on the wire; the window only
+        # bounds how many requests queue inside the sender.)
+        for arg_count in arg_counts:
+            for __ in range(repetitions):
+                rate = _measure_transaction(
+                    loop, client, "bench", arg_count, transaction_size,
+                    effective_window)
+                result.record(family_name, arg_count, rate)
+        client.shutdown()
+        server.shutdown()
+    return result

@@ -1,0 +1,27 @@
+"""The Forwarding Engine Abstraction (paper §3, §7).
+
+    "The FEA provides a stable API for communicating with a forwarding
+    engine or engines."
+
+In this reproduction the forwarding engine is a simulated kernel FIB
+(:class:`Fib`) doing longest-prefix-match forwarding.  The FEA also plays
+its paper §7 security role: it relays raw network access on behalf of
+sandboxed routing processes ("rather than sending UDP packets directly,
+RIP sends and receives packets using XRL calls to the FEA"), so no
+protocol process ever needs privileged socket access.
+"""
+
+from repro.fea.fib import Fib, FibEntry
+from repro.fea.ifmgr import Interface, InterfaceManager
+from repro.fea.fea import FeaProcess
+from repro.fea.rawsock import LoopbackPacketIO, PacketIO
+
+__all__ = [
+    "FeaProcess",
+    "Fib",
+    "FibEntry",
+    "Interface",
+    "InterfaceManager",
+    "LoopbackPacketIO",
+    "PacketIO",
+]

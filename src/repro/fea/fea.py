@@ -1,0 +1,180 @@
+"""The FEA process: FIB, interfaces, raw sockets, multicast FIB — as XRLs."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.process import Host, XorpProcess
+from repro.fea.fib import Fib, FibEntry
+from repro.fea.ifmgr import InterfaceManager
+from repro.fea.rawsock import PacketIO, RawSocketRelay
+from repro.interfaces import (
+    COMMON_IDL,
+    FEA_FIB_IDL,
+    FEA_IFMGR_IDL,
+    FEA_MFIB_IDL,
+    FEA_RAWPKT4_IDL,
+)
+from repro.net import IPNet, IPv4
+from repro.profiler import PROFILER_IDL, Profiler
+from repro.xrl import XrlArgs, XrlError
+from repro.xrl.error import XrlErrorCode
+from repro.xrl.xrl import Xrl
+
+
+class MfcEntry:
+    """One multicast forwarding cache entry: (S, G) -> iif, oifs."""
+
+    __slots__ = ("source", "group", "iif", "oifs")
+
+    def __init__(self, source: IPv4, group: IPv4, iif: str, oifs: Tuple[str, ...]):
+        self.source = source
+        self.group = group
+        self.iif = iif
+        self.oifs = tuple(oifs)
+
+    def __repr__(self) -> str:
+        return f"MfcEntry(({self.source},{self.group}) iif={self.iif} oifs={self.oifs})"
+
+
+class FeaProcess(XorpProcess):
+    """Forwarding Engine Abstraction as a XORP process."""
+
+    process_name = "fea"
+
+    def __init__(self, host: Host, *, packet_io: Optional[PacketIO] = None):
+        super().__init__(host)
+        self.xrl = self.create_router("fea", singleton=True)
+        self.fib4 = Fib(32)
+        self.fib6 = Fib(128)
+        self.ifmgr = InterfaceManager()
+        self.mfib: Dict[Tuple[int, int], MfcEntry] = {}
+        self.relay: Optional[RawSocketRelay] = None
+        if packet_io is not None:
+            self.attach_packet_io(packet_io)
+        self.profiler = Profiler(self.loop.clock)
+        self._prof_arrive = self.profiler.create("route_arrive_fea")
+        self._prof_kernel = self.profiler.create("route_kernel")
+        self.xrl.bind(FEA_FIB_IDL, self)
+        self.xrl.bind(FEA_IFMGR_IDL, self)
+        self.xrl.bind(FEA_RAWPKT4_IDL, self)
+        self.xrl.bind(FEA_MFIB_IDL, self)
+        self.xrl.bind(PROFILER_IDL, self.profiler)
+        self.xrl.bind(COMMON_IDL, self)
+
+    def attach_packet_io(self, packet_io: PacketIO) -> None:
+        self.relay = RawSocketRelay(packet_io)
+        self.relay.set_notifier(self._notify_recv_udp)
+
+    # -- fea_fib/1.0 -----------------------------------------------------
+    def xrl_add_entry4(self, net, nexthop, ifname) -> None:
+        self._prof_arrive.log(f"add {net}")
+        # "the FEA will unconditionally install the route in the kernel or
+        # the forwarding engine."
+        self.fib4.insert(FibEntry(net, nexthop, ifname))
+        self._prof_kernel.log(f"add {net}")
+
+    def xrl_delete_entry4(self, net) -> None:
+        self._prof_arrive.log(f"delete {net}")
+        self.fib4.remove(net)
+        self._prof_kernel.log(f"delete {net}")
+
+    def xrl_lookup_entry4(self, addr) -> dict:
+        entry = self.fib4.lookup(addr)
+        if entry is None:
+            return {"resolves": False, "net": IPNet(IPv4(0), 0),
+                    "nexthop": IPv4(0), "ifname": ""}
+        ifname = entry.ifname
+        if not ifname and not entry.nexthop.is_zero():
+            # Recursive route: resolve the gateway to its interface.
+            via = self.fib4.lookup(entry.nexthop)
+            if via is not None:
+                ifname = via.ifname
+        return {"resolves": True, "net": entry.net,
+                "nexthop": entry.nexthop, "ifname": ifname}
+
+    def xrl_add_entry6(self, net, nexthop, ifname) -> None:
+        self.fib6.insert(FibEntry(net, nexthop, ifname))
+
+    def xrl_delete_entry6(self, net) -> None:
+        self.fib6.remove(net)
+
+    # -- fea_ifmgr/1.0 ---------------------------------------------------
+    def xrl_get_interfaces(self) -> dict:
+        return {"ifnames": ",".join(self.ifmgr.names())}
+
+    def xrl_get_interface_addr4(self, ifname) -> dict:
+        try:
+            interface = self.ifmgr.get(ifname)
+        except KeyError as exc:
+            raise XrlError(XrlErrorCode.COMMAND_FAILED, str(exc)) from exc
+        return {"addr": interface.addr, "prefix_len": interface.prefix_len}
+
+    def xrl_set_interface_enabled(self, ifname, enabled) -> None:
+        try:
+            self.ifmgr.get(ifname).enabled = enabled
+        except KeyError as exc:
+            raise XrlError(XrlErrorCode.COMMAND_FAILED, str(exc)) from exc
+
+    def xrl_get_interface_enabled(self, ifname) -> dict:
+        try:
+            return {"enabled": self.ifmgr.get(ifname).enabled}
+        except KeyError as exc:
+            raise XrlError(XrlErrorCode.COMMAND_FAILED, str(exc)) from exc
+
+    # -- fea_rawpkt4/1.0 (the §7 relay) -------------------------------------
+    def _require_relay(self) -> RawSocketRelay:
+        if self.relay is None:
+            raise XrlError(
+                XrlErrorCode.COMMAND_FAILED,
+                "this FEA has no packet I/O backend attached",
+            )
+        return self.relay
+
+    def xrl_open_udp(self, creator, ifname, port) -> None:
+        try:
+            self._require_relay().open_udp(creator, ifname, port)
+        except ValueError as exc:
+            raise XrlError(XrlErrorCode.COMMAND_FAILED, str(exc)) from exc
+
+    def xrl_close_udp(self, creator, ifname, port) -> None:
+        self._require_relay().close_udp(creator, ifname, port)
+
+    def xrl_send_udp(self, ifname, dst, port, payload) -> None:
+        relay = self._require_relay()
+        interface = self.ifmgr.find(ifname)
+        if interface is None or not interface.enabled:
+            raise XrlError(
+                XrlErrorCode.COMMAND_FAILED,
+                f"interface {ifname!r} is missing or down",
+            )
+        relay.send_udp(ifname, interface.addr, dst, port, payload)
+
+    def _notify_recv_udp(self, creator: str, ifname: str, src: IPv4,
+                         port: int, payload: bytes) -> None:
+        args = (XrlArgs().add_txt("ifname", ifname).add_ipv4("src", src)
+                .add_u32("port", port).add_binary("payload", payload))
+        xrl = Xrl(creator, "fea_rawpkt_client4", "1.0", "recv_udp", args)
+        self.xrl.send(xrl)
+
+    # -- fea_mfib/1.0 (PIM installs multicast routes directly, Figure 1) -----
+    def xrl_add_mfc4(self, source, group, iif, oifs) -> None:
+        key = (source.to_int(), group.to_int())
+        oif_tuple = tuple(o for o in oifs.split(",") if o)
+        self.mfib[key] = MfcEntry(source, group, iif, oif_tuple)
+
+    def xrl_delete_mfc4(self, source, group) -> None:
+        self.mfib.pop((source.to_int(), group.to_int()), None)
+
+    # -- common/0.1 ---------------------------------------------------------
+    def xrl_get_target_name(self) -> dict:
+        return {"name": self.xrl.instance_name}
+
+    def xrl_get_version(self) -> dict:
+        return {"version": "repro-fea/1.0"}
+
+    def xrl_get_status(self) -> dict:
+        return {"status": "running" if self.running else "shutdown"}
+
+    def xrl_shutdown(self) -> None:
+        self.loop.call_soon(self.shutdown)

@@ -1,0 +1,68 @@
+"""The simulated kernel forwarding table.
+
+The paper's latency experiments end at "Entering kernel": the moment the
+route reaches the forwarding plane's table.  :class:`Fib` is that table —
+a longest-prefix-match structure the simulated data plane consults per
+packet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.net import IPNet
+from repro.trie import RouteTrie
+
+
+class FibEntry:
+    """One forwarding entry: destination prefix, gateway, output interface."""
+
+    __slots__ = ("net", "nexthop", "ifname")
+
+    def __init__(self, net: IPNet, nexthop, ifname: str = ""):
+        self.net = net
+        self.nexthop = nexthop
+        self.ifname = ifname
+
+    def __repr__(self) -> str:
+        return f"FibEntry({self.net} via {self.nexthop} dev {self.ifname!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FibEntry)
+            and self.net == other.net
+            and self.nexthop == other.nexthop
+            and self.ifname == other.ifname
+        )
+
+
+class Fib:
+    """Longest-prefix-match forwarding table for one address family."""
+
+    def __init__(self, bits: int = 32):
+        self._trie = RouteTrie(bits)
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def insert(self, entry: FibEntry) -> Optional[FibEntry]:
+        """Install *entry*, overwriting any entry for the same prefix."""
+        return self._trie.insert(entry.net, entry)
+
+    def remove(self, net: IPNet) -> Optional[FibEntry]:
+        """Remove the entry for *net*; returns it or None."""
+        return self._trie.discard(net)
+
+    def lookup(self, addr) -> Optional[FibEntry]:
+        """Longest-prefix match for a destination address."""
+        match = self._trie.best_match(addr)
+        return match[1] if match is not None else None
+
+    def exact(self, net: IPNet) -> Optional[FibEntry]:
+        return self._trie.exact(net)
+
+    def entries(self) -> Iterator[Tuple[IPNet, FibEntry]]:
+        return self._trie.items()
+
+    def clear(self) -> None:
+        self._trie.clear()

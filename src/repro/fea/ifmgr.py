@@ -1,0 +1,71 @@
+"""Network interface management for the FEA."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.net import IPNet, IPv4
+
+
+class Interface:
+    """One router interface: a name, an address, and an enabled flag."""
+
+    __slots__ = ("name", "addr", "prefix_len", "enabled", "cost")
+
+    def __init__(self, name: str, addr: IPv4, prefix_len: int, *,
+                 enabled: bool = True, cost: int = 1):
+        self.name = name
+        self.addr = addr
+        self.prefix_len = prefix_len
+        self.enabled = enabled
+        self.cost = cost
+
+    @property
+    def subnet(self) -> IPNet:
+        """The directly connected prefix this interface sits on."""
+        return IPNet(self.addr, self.prefix_len)
+
+    def __repr__(self) -> str:
+        state = "up" if self.enabled else "down"
+        return f"Interface({self.name!r} {self.addr}/{self.prefix_len} {state})"
+
+
+class InterfaceManager:
+    """The FEA's interface tree."""
+
+    def __init__(self) -> None:
+        self._interfaces: Dict[str, Interface] = {}
+
+    def add(self, interface: Interface) -> Interface:
+        if interface.name in self._interfaces:
+            raise ValueError(f"interface {interface.name!r} already exists")
+        self._interfaces[interface.name] = interface
+        return interface
+
+    def create(self, name: str, addr, prefix_len: int, **kwargs) -> Interface:
+        return self.add(Interface(name, IPv4(addr), prefix_len, **kwargs))
+
+    def get(self, name: str) -> Interface:
+        interface = self._interfaces.get(name)
+        if interface is None:
+            raise KeyError(f"no interface {name!r}")
+        return interface
+
+    def find(self, name: str) -> Optional[Interface]:
+        return self._interfaces.get(name)
+
+    def names(self) -> list:
+        return sorted(self._interfaces)
+
+    def __iter__(self) -> Iterator[Interface]:
+        return iter(self._interfaces.values())
+
+    def __len__(self) -> int:
+        return len(self._interfaces)
+
+    def interface_for_addr(self, addr) -> Optional[Interface]:
+        """The enabled interface whose subnet covers *addr*, if any."""
+        for interface in self._interfaces.values():
+            if interface.enabled and interface.subnet.contains_addr(addr):
+                return interface
+        return None

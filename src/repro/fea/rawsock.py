@@ -1,0 +1,105 @@
+"""Raw packet I/O relayed through the FEA (paper §7).
+
+Routing protocols never touch the network directly: they ask the FEA to
+open a UDP endpoint on an interface and to send datagrams, and the FEA
+calls them back (``fea_rawpkt_client4/1.0``) when packets arrive.  "This
+adds a small cost to networked communication, but as routing protocols are
+rarely high-bandwidth, this is not a problem in practice."
+
+The FEA is parameterised over a :class:`PacketIO` backend: the simulated
+network provides one wired to links; tests use :class:`LoopbackPacketIO`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net import IPv4
+
+#: delivery callback the FEA installs: (ifname, src, port, payload)
+DeliveryCallback = Callable[[str, IPv4, int, bytes], None]
+
+
+class PacketIO:
+    """Abstract datagram backend for one router's FEA."""
+
+    def bind(self, deliver: DeliveryCallback) -> None:
+        """Install the callback for inbound datagrams."""
+        raise NotImplementedError
+
+    def send(self, ifname: str, src: IPv4, dst: IPv4, port: int,
+             payload: bytes) -> None:
+        """Transmit one datagram out of *ifname*."""
+        raise NotImplementedError
+
+
+class LoopbackPacketIO(PacketIO):
+    """Test backend: every sent datagram is delivered back locally."""
+
+    def __init__(self, loop=None):
+        self._deliver: Optional[DeliveryCallback] = None
+        self._loop = loop
+        self.sent: List[Tuple[str, IPv4, IPv4, int, bytes]] = []
+
+    def bind(self, deliver: DeliveryCallback) -> None:
+        self._deliver = deliver
+
+    def send(self, ifname: str, src: IPv4, dst: IPv4, port: int,
+             payload: bytes) -> None:
+        self.sent.append((ifname, src, dst, port, payload))
+        if self._deliver is None:
+            return
+        if self._loop is not None:
+            self._loop.call_soon(self._deliver, ifname, src, port, payload)
+        else:
+            self._deliver(ifname, src, port, payload)
+
+
+class RawSocketRelay:
+    """The FEA-side table of protocol-opened UDP endpoints."""
+
+    def __init__(self, packet_io: PacketIO):
+        self._io = packet_io
+        #: (ifname, port) -> creator target name
+        self._open: Dict[Tuple[str, int], str] = {}
+        self._io.bind(self._on_packet)
+        self._notify: Optional[Callable[[str, str, IPv4, int, bytes], None]] = None
+        self.packets_relayed_in = 0
+        self.packets_relayed_out = 0
+
+    def set_notifier(self, notify: Callable[[str, str, IPv4, int, bytes], None]
+                     ) -> None:
+        """*notify(creator, ifname, src, port, payload)* forwards inbound
+        datagrams to the owning protocol process (via XRL in the FEA)."""
+        self._notify = notify
+
+    def open_udp(self, creator: str, ifname: str, port: int) -> None:
+        key = (ifname, port)
+        owner = self._open.get(key)
+        if owner is not None and owner != creator:
+            raise ValueError(
+                f"udp {ifname}:{port} already opened by {owner!r}"
+            )
+        self._open[key] = creator
+
+    def close_udp(self, creator: str, ifname: str, port: int) -> None:
+        key = (ifname, port)
+        if self._open.get(key) == creator:
+            del self._open[key]
+
+    def is_open(self, ifname: str, port: int) -> bool:
+        return (ifname, port) in self._open
+
+    def send_udp(self, ifname: str, src: IPv4, dst: IPv4, port: int,
+                 payload: bytes) -> None:
+        self.packets_relayed_out += 1
+        self._io.send(ifname, src, dst, port, payload)
+
+    def _on_packet(self, ifname: str, src: IPv4, port: int,
+                   payload: bytes) -> None:
+        creator = self._open.get((ifname, port))
+        if creator is None:
+            return  # no listener: drop, as a kernel would
+        self.packets_relayed_in += 1
+        if self._notify is not None:
+            self._notify(creator, ifname, src, port, payload)

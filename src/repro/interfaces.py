@@ -1,0 +1,204 @@
+"""The XRL interface catalogue — this stack's equivalent of XORP's ``xrl/interfaces/*.xif``.
+
+Every inter-process API in the system is declared here in IDL form and
+parsed once at import.  Keeping the catalogue central does two things the
+paper cares about: the APIs used by our own protocols are *exactly* the
+APIs available to third-party extensions ("Protocols such as BGP and RIP
+are not special in the XORP design — they use APIs equally available to
+all"), and every boundary is visible in one place for review.
+"""
+
+from __future__ import annotations
+
+from repro.xrl.idl import XrlInterface, parse_idl
+
+IDL_TEXT = """
+/* ---- Routing Information Base ------------------------------------- */
+
+interface rib/1.0 {
+    add_igp_table4 ? protocol:txt;
+    add_egp_table4 ? protocol:txt;
+    add_igp_table6 ? protocol:txt;
+    add_egp_table6 ? protocol:txt;
+
+    add_route4     ? protocol:txt & net:ipv4net & nexthop:ipv4 & metric:u32 & policytags:list;
+    replace_route4 ? protocol:txt & net:ipv4net & nexthop:ipv4 & metric:u32 & policytags:list;
+    delete_route4  ? protocol:txt & net:ipv4net;
+    add_route6     ? protocol:txt & net:ipv6net & nexthop:ipv6 & metric:u32 & policytags:list;
+    replace_route6 ? protocol:txt & net:ipv6net & nexthop:ipv6 & metric:u32 & policytags:list;
+    delete_route6  ? protocol:txt & net:ipv6net;
+
+    lookup_route_by_dest4 ? addr:ipv4
+        -> resolves:bool & net:ipv4net & nexthop:ipv4 & metric:u32 & admin_distance:u32 & protocol:txt;
+
+    register_interest4 ? target:txt & addr:ipv4
+        -> resolves:bool & net:ipv4net & subnet:ipv4net & nexthop:ipv4 & metric:u32 & admin_distance:u32;
+    deregister_interest4 ? target:txt & subnet:ipv4net;
+
+    redist_enable4  ? target:txt & from_protocol:txt;
+    redist_disable4 ? target:txt & from_protocol:txt;
+
+    get_protocol_admin_distance ? protocol:txt -> admin_distance:u32;
+}
+
+/* Notifications the RIB sends to components that registered interest
+   (paper 5.2.1: "the RIB will send a 'cache invalidated' message for the
+   relevant subnet, and BGP can re-query the RIB"). */
+interface rib_client/0.1 {
+    route_info_invalid4 ? subnet:ipv4net;
+}
+
+/* Route redistribution feed (RIB -> routing protocol). */
+interface redist4/0.1 {
+    redist_add_route4    ? net:ipv4net & nexthop:ipv4 & metric:u32 & admin_distance:u32 & protocol:txt & policytags:list;
+    redist_delete_route4 ? net:ipv4net & protocol:txt;
+}
+
+/* ---- Forwarding Engine Abstraction --------------------------------- */
+
+interface fea_fib/1.0 {
+    add_entry4    ? net:ipv4net & nexthop:ipv4 & ifname:txt;
+    delete_entry4 ? net:ipv4net;
+    lookup_entry4 ? addr:ipv4 -> resolves:bool & net:ipv4net & nexthop:ipv4 & ifname:txt;
+    add_entry6    ? net:ipv6net & nexthop:ipv6 & ifname:txt;
+    delete_entry6 ? net:ipv6net;
+}
+
+interface fea_ifmgr/1.0 {
+    get_interfaces -> ifnames:txt;
+    get_interface_addr4 ? ifname:txt -> addr:ipv4 & prefix_len:u32;
+    set_interface_enabled ? ifname:txt & enabled:bool;
+    get_interface_enabled ? ifname:txt -> enabled:bool;
+}
+
+/* Privileged network access relayed through the FEA (paper 7: "rather
+   than sending UDP packets directly, RIP sends and receives packets
+   using XRL calls to the FEA"). */
+interface fea_rawpkt4/1.0 {
+    open_udp    ? creator:txt & ifname:txt & port:u32;
+    close_udp   ? creator:txt & ifname:txt & port:u32;
+    send_udp    ? ifname:txt & dst:ipv4 & port:u32 & payload:binary;
+}
+
+/* Packets delivered back to the protocol that opened the socket. */
+interface fea_rawpkt_client4/1.0 {
+    recv_udp ? ifname:txt & src:ipv4 & port:u32 & payload:binary;
+}
+
+/* ---- Multicast FEA additions ---------------------------------------- */
+
+interface fea_mfib/1.0 {
+    add_mfc4    ? source:ipv4 & group:ipv4 & iif:txt & oifs:txt;
+    delete_mfc4 ? source:ipv4 & group:ipv4;
+}
+
+/* ---- BGP ------------------------------------------------------------- */
+
+interface bgp/1.0 {
+    set_local_as   ? as:u32;
+    get_local_as   -> as:u32;
+    set_bgp_id     ? id:ipv4;
+    add_peer       ? peer:ipv4 & as:u32 & next_hop:ipv4 & holdtime:u32;
+    delete_peer    ? peer:ipv4;
+    enable_peer    ? peer:ipv4;
+    disable_peer   ? peer:ipv4;
+    originate_route4 ? net:ipv4net & next_hop:ipv4 & unicast:bool;
+    withdraw_route4  ? net:ipv4net;
+    get_peer_list  -> peers:txt;
+    get_route_count -> count:u32;
+}
+
+/* ---- RIP -------------------------------------------------------------- */
+
+interface rip/1.0 {
+    add_rip_address    ? ifname:txt & addr:ipv4;
+    remove_rip_address ? ifname:txt & addr:ipv4;
+    set_cost           ? ifname:txt & cost:u32;
+    set_authentication ? ifname:txt & password:txt;
+    get_counters       ? ifname:txt -> packets_in:u32 & packets_out:u32 & bad_packets:u32;
+    add_static_route   ? net:ipv4net & nexthop:ipv4 & cost:u32;
+}
+
+/* ---- OSPF -------------------------------------------------------------- */
+
+interface ospf/0.1 {
+    add_ospf_interface ? ifname:txt & addr:ipv4 & prefix_len:u32 & cost:u32;
+    get_neighbors  -> neighbors:txt;
+    get_lsdb       -> lsdb:txt;
+    get_router_id  -> id:ipv4;
+}
+
+/* ---- Static routes ---------------------------------------------------- */
+
+interface static_routes/0.1 {
+    add_route4    ? net:ipv4net & nexthop:ipv4 & metric:u32;
+    delete_route4 ? net:ipv4net;
+}
+
+/* ---- Policy ------------------------------------------------------------ */
+
+interface policy/0.1 {
+    configure_filter ? filter_id:u32 & policy_source:txt;
+    reset_filter     ? filter_id:u32;
+}
+
+/* ---- PIM-SM / IGMP ------------------------------------------------------ */
+
+interface mld6igmp/0.1 {
+    add_membership4    ? ifname:txt & group:ipv4;
+    delete_membership4 ? ifname:txt & group:ipv4;
+    list_memberships4  ? ifname:txt -> groups:txt;
+}
+
+interface mld6igmp_client/0.1 {
+    membership_change4 ? ifname:txt & group:ipv4 & joined:bool;
+}
+
+interface pim/0.1 {
+    set_rp ? group_prefix:ipv4net & rp:ipv4;
+    join_group4  ? ifname:txt & group:ipv4;
+    leave_group4 ? ifname:txt & group:ipv4;
+}
+
+/* ---- Router manager ------------------------------------------------------ */
+
+interface rtrmgr/1.0 {
+    get_config    -> config:txt;
+    get_modules   -> modules:txt;
+}
+
+/* Common target housekeeping, implemented by every process. */
+interface common/0.1 {
+    get_target_name -> name:txt;
+    get_version     -> version:txt;
+    get_status      -> status:txt;
+    shutdown;
+}
+"""
+
+_CATALOGUE = parse_idl(IDL_TEXT)
+
+
+def interface(fullname: str) -> XrlInterface:
+    """Fetch an interface from the catalogue by ``name/version``."""
+    return _CATALOGUE[fullname]
+
+
+RIB_IDL = interface("rib/1.0")
+RIB_CLIENT_IDL = interface("rib_client/0.1")
+REDIST4_IDL = interface("redist4/0.1")
+FEA_FIB_IDL = interface("fea_fib/1.0")
+FEA_IFMGR_IDL = interface("fea_ifmgr/1.0")
+FEA_RAWPKT4_IDL = interface("fea_rawpkt4/1.0")
+FEA_RAWPKT_CLIENT4_IDL = interface("fea_rawpkt_client4/1.0")
+FEA_MFIB_IDL = interface("fea_mfib/1.0")
+BGP_IDL = interface("bgp/1.0")
+RIP_IDL = interface("rip/1.0")
+OSPF_IDL = interface("ospf/0.1")
+STATIC_ROUTES_IDL = interface("static_routes/0.1")
+POLICY_IDL = interface("policy/0.1")
+MLD6IGMP_IDL = interface("mld6igmp/0.1")
+MLD6IGMP_CLIENT_IDL = interface("mld6igmp_client/0.1")
+PIM_IDL = interface("pim/0.1")
+RTRMGR_IDL = interface("rtrmgr/1.0")
+COMMON_IDL = interface("common/0.1")

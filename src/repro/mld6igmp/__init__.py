@@ -1,0 +1,10 @@
+"""IGMP group membership (paper §3).
+
+    "PIM-SM ... and IGMP provide multicast routing functionality, with PIM
+    performing the actual routing and IGMP informing PIM of the existence
+    of local receivers."
+"""
+
+from repro.mld6igmp.igmp import IgmpPacket, IgmpPacketError, Mld6igmpProcess
+
+__all__ = ["IgmpPacket", "IgmpPacketError", "Mld6igmpProcess"]

@@ -1,0 +1,33 @@
+"""OSPF-lite: a single-area link-state protocol.
+
+The paper's status line — "XORP 1.0 supports BGP and RIP; support for
+OSPF and IS-IS is under development" — makes OSPF the natural extension
+exercise for this reproduction.  This implementation is a deliberately
+reduced but real link-state protocol:
+
+* point-to-point interfaces, single area (0.0.0.0);
+* HELLO packets with bidirectionality check (Down → Init → Full);
+* Router-LSAs with sequence numbers, flooded to all neighbours and
+  refreshed periodically (acknowledgements are omitted — the DESIGN.md
+  substitution table covers this: simulated links are reliable, and
+  refresh bounds staleness exactly as OSPF's age mechanism does);
+* Dijkstra SPF over the link-state database, scheduled event-driven
+  (debounced, never a periodic scanner);
+* routes fed to the RIB as protocol ``ospf`` (admin distance 110);
+* packets relayed through the FEA like RIP's (paper §7).
+
+Like every protocol here, it uses only public XRL interfaces.
+"""
+
+from repro.ospf.packets import HelloPacket, LsUpdatePacket, OspfDecodeError, RouterLSA
+from repro.ospf.process import OspfProcess
+from repro.ospf.spf import shortest_path_routes
+
+__all__ = [
+    "HelloPacket",
+    "LsUpdatePacket",
+    "OspfDecodeError",
+    "OspfProcess",
+    "RouterLSA",
+    "shortest_path_routes",
+]

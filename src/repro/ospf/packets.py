@@ -1,0 +1,213 @@
+"""OSPF-lite wire format.
+
+A reduced OSPFv2 layout: the common 24-byte header (version, type,
+length, router id, area id, checksum, zeroed auth), HELLO bodies, and LS
+UPDATE bodies carrying Router-LSAs.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.net import IPNet, IPv4
+
+OSPF_VERSION = 2
+OSPF_TYPE_HELLO = 1
+OSPF_TYPE_LS_UPDATE = 4
+
+#: Router-LSA link types (RFC 2328 §A.4.2)
+LINK_PTP = 1
+LINK_STUB = 3
+
+ALL_SPF_ROUTERS = IPv4("224.0.0.5")
+LS_MAX_AGE = 3600.0
+
+
+class OspfDecodeError(ValueError):
+    """Malformed OSPF packet."""
+
+
+def _checksum(data: bytes) -> int:
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def _header(packet_type: int, router_id: IPv4, body: bytes) -> bytes:
+    length = 24 + len(body)
+    head = struct.pack("!BBH", OSPF_VERSION, packet_type, length)
+    head += router_id.to_bytes()
+    head += b"\x00" * 4            # area 0.0.0.0
+    head += b"\x00\x00"            # checksum placeholder
+    head += b"\x00" * 10           # autype + authentication (null)
+    checksum = _checksum(head + body)
+    return head[:12] + struct.pack("!H", checksum) + head[14:] + body
+
+
+def decode_header(data: bytes) -> Tuple[int, IPv4, bytes]:
+    """Validate the common header; return (type, router_id, body)."""
+    if len(data) < 24:
+        raise OspfDecodeError(f"short OSPF packet ({len(data)} bytes)")
+    version, packet_type, length = struct.unpack_from("!BBH", data, 0)
+    if version != OSPF_VERSION:
+        raise OspfDecodeError(f"bad OSPF version {version}")
+    if length != len(data):
+        raise OspfDecodeError(f"length {length} != {len(data)}")
+    router_id = IPv4(data[4:8])
+    (checksum,) = struct.unpack_from("!H", data, 12)
+    verify = _checksum(data[:12] + b"\x00\x00" + data[14:])
+    if checksum != verify:
+        raise OspfDecodeError("bad OSPF checksum")
+    return packet_type, router_id, data[24:]
+
+
+class HelloPacket:
+    """HELLO: intervals plus the router ids heard on this link."""
+
+    __slots__ = ("router_id", "hello_interval", "dead_interval", "neighbors")
+
+    def __init__(self, router_id: IPv4, hello_interval: int,
+                 dead_interval: int, neighbors: List[IPv4]):
+        self.router_id = router_id
+        self.hello_interval = hello_interval
+        self.dead_interval = dead_interval
+        self.neighbors = list(neighbors)
+
+    def encode(self) -> bytes:
+        body = struct.pack("!IHBBI", 0xFFFFFFFF, self.hello_interval, 0, 0,
+                           self.dead_interval)
+        body += b"\x00" * 8  # DR/BDR, unused on point-to-point
+        body += b"".join(n.to_bytes() for n in self.neighbors)
+        return _header(OSPF_TYPE_HELLO, self.router_id, body)
+
+    @classmethod
+    def decode_body(cls, router_id: IPv4, body: bytes) -> "HelloPacket":
+        if len(body) < 20 or (len(body) - 20) % 4:
+            raise OspfDecodeError("bad HELLO length")
+        __, hello_interval, __, __, dead_interval = struct.unpack_from(
+            "!IHBBI", body, 0)
+        neighbors = [IPv4(body[offset : offset + 4])
+                     for offset in range(20, len(body), 4)]
+        return cls(router_id, hello_interval, dead_interval, neighbors)
+
+    def __repr__(self) -> str:
+        return (f"Hello(from={self.router_id} "
+                f"neighbors={[str(n) for n in self.neighbors]})")
+
+
+class RouterLSA:
+    """A Router-LSA: who I am, my sequence number, and my links.
+
+    Links are ``(type, link_id, link_data, metric)``:
+
+    * PTP: link_id = neighbour router id, link_data = my address on the
+      link;
+    * STUB: link_id = network address, link_data = prefix length, giving
+      the attached prefix.
+    """
+
+    __slots__ = ("router_id", "seq", "links")
+
+    def __init__(self, router_id: IPv4, seq: int,
+                 links: List[Tuple[int, IPv4, int, int]]):
+        self.router_id = router_id
+        self.seq = seq
+        self.links = list(links)
+
+    def add_ptp(self, neighbor_id: IPv4, local_addr: IPv4, metric: int) -> None:
+        self.links.append((LINK_PTP, neighbor_id, local_addr.to_int(), metric))
+
+    def add_stub(self, subnet: IPNet, metric: int) -> None:
+        self.links.append((LINK_STUB, subnet.network, subnet.prefix_len,
+                           metric))
+
+    def ptp_neighbors(self) -> List[Tuple[IPv4, IPv4, int]]:
+        """[(neighbor_id, my_addr_on_link, metric)]"""
+        return [(link_id, IPv4(link_data), metric)
+                for kind, link_id, link_data, metric in self.links
+                if kind == LINK_PTP]
+
+    def stub_prefixes(self) -> List[Tuple[IPNet, int]]:
+        return [(IPNet(link_id, link_data), metric)
+                for kind, link_id, link_data, metric in self.links
+                if kind == LINK_STUB]
+
+    def encode(self) -> bytes:
+        parts = [self.router_id.to_bytes(),
+                 struct.pack("!iH", self.seq, len(self.links))]
+        for kind, link_id, link_data, metric in self.links:
+            parts.append(struct.pack("!B", kind))
+            parts.append(link_id.to_bytes())
+            parts.append(struct.pack("!IH", link_data, metric))
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> Tuple["RouterLSA", int]:
+        try:
+            router_id = IPv4(data[offset : offset + 4])
+            seq, count = struct.unpack_from("!iH", data, offset + 4)
+            offset += 10
+            links = []
+            for __ in range(count):
+                kind = data[offset]
+                link_id = IPv4(data[offset + 1 : offset + 5])
+                link_data, metric = struct.unpack_from("!IH", data, offset + 5)
+                offset += 11
+                if kind not in (LINK_PTP, LINK_STUB):
+                    raise OspfDecodeError(f"bad link type {kind}")
+                links.append((kind, link_id, link_data, metric))
+        except (struct.error, IndexError) as exc:
+            raise OspfDecodeError(f"truncated Router-LSA: {exc}") from exc
+        return cls(router_id, seq, links), offset
+
+    def __repr__(self) -> str:
+        return f"RouterLSA({self.router_id} seq={self.seq} links={len(self.links)})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, RouterLSA)
+                and self.router_id == other.router_id
+                and self.seq == other.seq and self.links == other.links)
+
+
+class LsUpdatePacket:
+    """LS UPDATE carrying one or more Router-LSAs."""
+
+    __slots__ = ("router_id", "lsas")
+
+    def __init__(self, router_id: IPv4, lsas: List[RouterLSA]):
+        self.router_id = router_id
+        self.lsas = list(lsas)
+
+    def encode(self) -> bytes:
+        body = struct.pack("!H", len(self.lsas))
+        body += b"".join(lsa.encode() for lsa in self.lsas)
+        return _header(OSPF_TYPE_LS_UPDATE, self.router_id, body)
+
+    @classmethod
+    def decode_body(cls, router_id: IPv4, body: bytes) -> "LsUpdatePacket":
+        if len(body) < 2:
+            raise OspfDecodeError("short LS UPDATE")
+        (count,) = struct.unpack_from("!H", body, 0)
+        offset = 2
+        lsas = []
+        for __ in range(count):
+            lsa, offset = RouterLSA.decode(body, offset)
+            lsas.append(lsa)
+        return cls(router_id, lsas)
+
+    def __repr__(self) -> str:
+        return f"LsUpdate(from={self.router_id} lsas={len(self.lsas)})"
+
+
+def decode_packet(data: bytes):
+    """Decode any OSPF-lite packet."""
+    packet_type, router_id, body = decode_header(data)
+    if packet_type == OSPF_TYPE_HELLO:
+        return HelloPacket.decode_body(router_id, body)
+    if packet_type == OSPF_TYPE_LS_UPDATE:
+        return LsUpdatePacket.decode_body(router_id, body)
+    raise OspfDecodeError(f"unsupported OSPF packet type {packet_type}")

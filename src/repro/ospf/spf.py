@@ -1,0 +1,79 @@
+"""Shortest-path-first computation over the link-state database."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.net import IPNet, IPv4
+from repro.ospf.packets import RouterLSA
+
+
+def build_adjacency(lsdb: Dict[int, RouterLSA]):
+    """Bidirectional adjacency: edge A->B only if B also reports A.
+
+    Returns ``{router_id_int: [(neighbor_id_int, metric, neighbor_addr)]}``
+    where *neighbor_addr* is B's interface address on the shared link —
+    the nexthop a first-hop route needs.
+    """
+    adjacency: Dict[int, List[Tuple[int, int, IPv4]]] = {}
+    for rid, lsa in lsdb.items():
+        for neighbor_id, __, metric in lsa.ptp_neighbors():
+            nid = neighbor_id.to_int()
+            other = lsdb.get(nid)
+            if other is None:
+                continue
+            # Find the reverse link; its link_data is B's address.
+            for back_id, back_addr, __ in other.ptp_neighbors():
+                if back_id.to_int() == rid:
+                    adjacency.setdefault(rid, []).append(
+                        (nid, metric, back_addr))
+                    break
+    return adjacency
+
+
+def shortest_path_routes(root_id: IPv4, lsdb: Dict[int, RouterLSA]
+                         ) -> Dict[IPNet, Tuple[int, IPv4, IPv4]]:
+    """Dijkstra from *root_id* over *lsdb*.
+
+    Returns ``{prefix: (total_metric, nexthop_addr, first_hop_router_id)}``
+    for every stub prefix reachable through other routers.  The root's own
+    stub prefixes are excluded (they are connected routes).
+    """
+    root = root_id.to_int()
+    if root not in lsdb:
+        return {}
+    adjacency = build_adjacency(lsdb)
+    distance: Dict[int, int] = {root: 0}
+    #: first hop towards each node: (nexthop_addr, first_hop_router_id)
+    first_hop: Dict[int, Tuple[IPv4, IPv4]] = {}
+    visited = set()
+    heap: List[Tuple[int, int]] = [(0, root)]
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        for neighbor, metric, neighbor_addr in adjacency.get(node, ()):  # noqa: B905
+            candidate = dist + metric
+            if candidate < distance.get(neighbor, 1 << 30):
+                distance[neighbor] = candidate
+                if node == root:
+                    first_hop[neighbor] = (neighbor_addr, IPv4(neighbor))
+                else:
+                    first_hop[neighbor] = first_hop[node]
+                heapq.heappush(heap, (candidate, neighbor))
+    routes: Dict[IPNet, Tuple[int, IPv4, IPv4]] = {}
+    for node in visited:
+        if node == root:
+            continue
+        lsa = lsdb.get(node)
+        if lsa is None or node not in first_hop:
+            continue
+        nexthop, via = first_hop[node]
+        for prefix, stub_metric in lsa.stub_prefixes():
+            total = distance[node] + stub_metric
+            current = routes.get(prefix)
+            if current is None or total < current[0]:
+                routes[prefix] = (total, nexthop, via)
+    return routes

@@ -1,0 +1,10 @@
+"""PIM-SM-lite multicast routing (paper §3, Figure 1).
+
+    "PIM contributes routes not to the RIB, but directly via the FEA to
+    the forwarding engine. ... However, PIM does use the RIB's routing
+    information to decide on the reverse path back to a multicast source."
+"""
+
+from repro.pim.pim import PimProcess
+
+__all__ = ["PimProcess"]

@@ -1,0 +1,37 @@
+"""The routing policy framework (paper §8.3).
+
+    "Our policy framework consists of three new BGP stages and two new RIB
+    stages, each of which supports a common simple stack language for
+    operating on routes. ... we believe this framework allows us to
+    implement almost the full range of policies available on commercial
+    routers."
+
+Pipeline: policy *source* text (a Juniper-ish ``policy-statement`` syntax)
+is parsed (:mod:`repro.policy.parser`), compiled
+(:mod:`repro.policy.compiler`) to a simple stack-machine program, and
+executed (:mod:`repro.policy.vm`) against a route through a variable
+read/write adapter (:mod:`repro.policy.varrw`).  Protocols receive
+compiled programs over the ``policy/0.1`` XRL interface and run them in
+their filter-bank stages.
+
+The only change policy needed in pre-existing code was the *tag list*
+carried on routes between BGP and the RIB — exactly the paper's
+experience.
+"""
+
+from repro.policy.compiler import compile_policy, compile_source
+from repro.policy.parser import PolicyParseError, parse_policy
+from repro.policy.vm import PolicyResult, PolicyVM
+from repro.policy.varrw import BgpVarRW, RibVarRW, VarRW
+
+__all__ = [
+    "BgpVarRW",
+    "PolicyParseError",
+    "PolicyResult",
+    "PolicyVM",
+    "RibVarRW",
+    "VarRW",
+    "compile_policy",
+    "compile_source",
+    "parse_policy",
+]

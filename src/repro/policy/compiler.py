@@ -1,0 +1,71 @@
+"""Compile parsed policy statements into stack-machine programs."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.policy.parser import (
+    Action,
+    Condition,
+    PolicyParseError,
+    PolicyStatement,
+    Term,
+    parse_policy,
+)
+from repro.policy.vm import Instruction
+
+_OP_CODES = {
+    ":": "eq",
+    "==": "eq",
+    "!=": "ne",
+    "<": "lt",
+    "<=": "le",
+    ">": "gt",
+    ">=": "ge",
+    "contains": "contains",
+    "orlonger": "orlonger",
+    "exact": "exact",
+}
+
+
+def _compile_condition(condition: Condition) -> List[Instruction]:
+    opcode = _OP_CODES.get(condition.op)
+    if opcode is None:
+        raise PolicyParseError(f"unknown operator {condition.op!r}")
+    return [
+        ("load", condition.variable),
+        ("push", condition.value),
+        (opcode,),
+        ("onfalse_exit",),
+    ]
+
+
+def _compile_action(action: Action) -> List[Instruction]:
+    if action.kind == "accept":
+        return [("accept",)]
+    if action.kind == "reject":
+        return [("reject",)]
+    store = {"set": "store", "add": "store_add", "sub": "store_sub"}[action.mode]
+    return [("push", action.value), (store, action.variable)]
+
+
+def compile_term(term: Term) -> List[Instruction]:
+    instructions: List[Instruction] = []
+    for condition in term.conditions:
+        instructions.extend(_compile_condition(condition))
+    for action in term.actions:
+        instructions.extend(_compile_action(action))
+    return instructions
+
+
+def compile_policy(statement: PolicyStatement) -> List[List[Instruction]]:
+    """One statement -> a program: a list of compiled terms."""
+    return [compile_term(term) for term in statement.terms]
+
+
+def compile_source(source: str) -> List[List[Instruction]]:
+    """Parse and compile policy source; statements' terms concatenate."""
+    program: List[List[Instruction]] = []
+    for statement in parse_policy(source):
+        program.extend(compile_policy(statement))
+    return program

@@ -1,0 +1,273 @@
+"""Policy source language: tokenizer and parser.
+
+Grammar (simplified XORP/JunOS style)::
+
+    policy    := statement*
+    statement := "policy-statement" NAME "{" term* "}"
+    term      := "term" NAME "{" [from-block] [then-block] "}"
+    from      := "from" "{" condition* "}"
+    then      := "then" "{" action* "}"
+    condition := VAR OP value ";"
+    action    := VAR ":" value ";" | "accept" ";" | "reject" ";"
+    OP        := ":" | "==" | "!=" | "<" | "<=" | ">" | ">=" |
+                 "contains" | "orlonger" | "exact"
+
+Values are numbers, quoted strings, bare identifiers, IPv4 addresses, or
+prefixes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Tuple
+
+
+class PolicyParseError(ValueError):
+    """Malformed policy source."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<prefix>\d+\.\d+\.\d+\.\d+/\d+)
+  | (?P<addr>\d+\.\d+\.\d+\.\d+)
+  | (?P<number>\d+)
+  | (?P<string>"[^"]*")
+  | (?P<op><=|>=|==|!=|<|>|:)
+  | (?P<punct>[{};])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_\-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+class Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int):
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise PolicyParseError(
+                f"unexpected character {source[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup
+        if kind not in ("ws", "comment"):
+            tokens.append(Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+# -- AST ---------------------------------------------------------------------
+
+class Condition:
+    __slots__ = ("variable", "op", "value")
+
+    def __init__(self, variable: str, op: str, value: Any):
+        self.variable = variable
+        self.op = op
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Condition({self.variable} {self.op} {self.value!r})"
+
+
+class Action:
+    """Either a modification (variable, mode, value) or accept/reject."""
+
+    __slots__ = ("kind", "variable", "mode", "value")
+
+    def __init__(self, kind: str, variable: str = "", mode: str = "set",
+                 value: Any = None):
+        self.kind = kind  # "set" | "accept" | "reject"
+        self.variable = variable
+        self.mode = mode  # "set" | "add" | "sub"
+        self.value = value
+
+    def __repr__(self) -> str:
+        if self.kind != "set":
+            return f"Action({self.kind})"
+        return f"Action({self.variable} {self.mode} {self.value!r})"
+
+
+class Term:
+    __slots__ = ("name", "conditions", "actions")
+
+    def __init__(self, name: str, conditions: List[Condition],
+                 actions: List[Action]):
+        self.name = name
+        self.conditions = conditions
+        self.actions = actions
+
+
+class PolicyStatement:
+    __slots__ = ("name", "terms")
+
+    def __init__(self, name: str, terms: List[Term]):
+        self.name = name
+        self.terms = terms
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> Optional[Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise PolicyParseError("unexpected end of policy source")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise PolicyParseError(
+                f"expected {wanted!r}, got {token.text!r} at offset "
+                f"{token.position}"
+            )
+        return token
+
+    def _name(self) -> str:
+        token = self._next()
+        if token.kind == "string":
+            return token.text[1:-1]
+        if token.kind == "ident":
+            return token.text
+        raise PolicyParseError(
+            f"expected a name, got {token.text!r} at offset {token.position}"
+        )
+
+    def _value(self) -> Any:
+        token = self._next()
+        if token.kind == "number":
+            return int(token.text)
+        if token.kind == "string":
+            return token.text[1:-1]
+        if token.kind == "prefix":
+            from repro.net import IPNet
+
+            return IPNet.parse(token.text)
+        if token.kind == "addr":
+            from repro.net import IPv4
+
+            return IPv4(token.text)
+        if token.kind == "ident":
+            return token.text
+        raise PolicyParseError(
+            f"expected a value, got {token.text!r} at offset {token.position}"
+        )
+
+    def parse(self) -> List[PolicyStatement]:
+        statements = []
+        while self._peek() is not None:
+            statements.append(self._statement())
+        if not statements:
+            raise PolicyParseError("no policy statements found")
+        return statements
+
+    def _statement(self) -> PolicyStatement:
+        self._expect("ident", "policy-statement")
+        name = self._name()
+        self._expect("punct", "{")
+        terms = []
+        while self._peek() is not None and self._peek().text != "}":
+            terms.append(self._term())
+        self._expect("punct", "}")
+        return PolicyStatement(name, terms)
+
+    def _term(self) -> Term:
+        self._expect("ident", "term")
+        name = self._name()
+        self._expect("punct", "{")
+        conditions: List[Condition] = []
+        actions: List[Action] = []
+        while self._peek() is not None and self._peek().text != "}":
+            token = self._next()
+            if token.text == "from":
+                conditions.extend(self._from_block())
+            elif token.text == "then":
+                actions.extend(self._then_block())
+            else:
+                raise PolicyParseError(
+                    f"expected 'from' or 'then', got {token.text!r} at "
+                    f"offset {token.position}"
+                )
+        self._expect("punct", "}")
+        return Term(name, conditions, actions)
+
+    def _from_block(self) -> List[Condition]:
+        self._expect("punct", "{")
+        conditions = []
+        while self._peek() is not None and self._peek().text != "}":
+            variable = self._expect("ident").text
+            op_token = self._next()
+            if op_token.kind == "op":
+                op = op_token.text
+            elif op_token.kind == "ident" and op_token.text in (
+                    "contains", "orlonger", "exact"):
+                op = op_token.text
+            else:
+                raise PolicyParseError(
+                    f"expected an operator, got {op_token.text!r} at offset "
+                    f"{op_token.position}"
+                )
+            value = self._value()
+            self._expect("punct", ";")
+            conditions.append(Condition(variable, op, value))
+        self._expect("punct", "}")
+        return conditions
+
+    def _then_block(self) -> List[Action]:
+        self._expect("punct", "{")
+        actions = []
+        while self._peek() is not None and self._peek().text != "}":
+            token = self._next()
+            if token.kind == "ident" and token.text in ("accept", "reject"):
+                self._expect("punct", ";")
+                actions.append(Action(token.text))
+                continue
+            if token.kind != "ident":
+                raise PolicyParseError(
+                    f"expected an action, got {token.text!r} at offset "
+                    f"{token.position}"
+                )
+            variable = token.text
+            mode = "set"
+            next_token = self._next()
+            if next_token.kind == "ident" and next_token.text in ("add", "sub"):
+                mode = next_token.text
+            elif not (next_token.kind == "op" and next_token.text == ":"):
+                raise PolicyParseError(
+                    f"expected ':' or add/sub after {variable!r} at offset "
+                    f"{next_token.position}"
+                )
+            value = self._value()
+            self._expect("punct", ";")
+            actions.append(Action("set", variable, mode, value))
+        self._expect("punct", "}")
+        return actions
+
+
+def parse_policy(source: str) -> List[PolicyStatement]:
+    """Parse policy source text into statements."""
+    return _Parser(tokenize(source)).parse()

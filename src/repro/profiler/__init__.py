@@ -1,0 +1,5 @@
+"""XRL-controlled profiling points (paper §8.2)."""
+
+from repro.profiler.profiler import PROFILER_IDL, Profiler, ProfileVar
+
+__all__ = ["PROFILER_IDL", "ProfileVar", "Profiler"]

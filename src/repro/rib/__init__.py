@@ -1,0 +1,33 @@
+"""The Routing Information Base process (paper §3, §5.2).
+
+    "The RIB serves as the plumbing between routing protocols. ... As
+    multiple protocols can supply different routes to the same destination
+    subnet, the RIB must arbitrate between alternatives."
+
+Like BGP, the RIB is a network of stages (paper Figure 7): origin tables
+(one per protocol) feed pairwise :class:`MergeStage` decisions based on
+administrative distance, an :class:`ExtIntStage` composes external routes
+with internal ones (resolving external nexthops), and dynamic
+:class:`RedistStage` / :class:`RegisterStage` watchers redistribute routes
+and answer interest registrations (§5.2.1) on the way to the forwarding
+engine.
+"""
+
+from repro.rib.route import ADMIN_DISTANCES, RibRoute, preferred
+from repro.rib.merge import MergeStage
+from repro.rib.extint import ExtIntStage
+from repro.rib.redist import RedistStage
+from repro.rib.register import RegisterStage, Registration
+from repro.rib.rib import RibProcess
+
+__all__ = [
+    "ADMIN_DISTANCES",
+    "ExtIntStage",
+    "MergeStage",
+    "RedistStage",
+    "RegisterStage",
+    "Registration",
+    "RibProcess",
+    "RibRoute",
+    "preferred",
+]

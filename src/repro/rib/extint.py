@@ -1,0 +1,136 @@
+"""The ExtInt stage: compose external routes with internal routes.
+
+    "... an ExtInt Stage, which composes a set of external routes with a
+    set of internal routes."  (paper §5.2, Figure 7)
+
+Figure 7 draws ExtInt with **two** upstream sides — the external (EGP)
+merge chain and the internal (IGP) merge chain — and that structure is
+load-bearing: an external route with the best administrative distance may
+still be *unusable* because its nexthop does not resolve through any
+internal route, in which case the internal alternative must win.  A
+single merged chain would swallow that alternative before ExtInt could
+see it (a bug our property tests caught in an earlier design).
+
+The stage mirrors each side's winners, gates external candidates on
+nexthop resolvability through the internal side, picks the final winner
+by administrative preference, and keeps downstream consistent as routes
+and resolvability change.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set
+
+from repro.core.stages import RouteTableStage
+from repro.net import IPNet
+from repro.rib.route import preferred
+from repro.trie import RouteTrie
+
+
+class ExtIntStage(RouteTableStage):
+    def __init__(self, name: str, bits: int = 32):
+        super().__init__(name)
+        self.bits = bits
+        #: internal-side winners by prefix (the resolution substrate)
+        self.internal = RouteTrie(bits)
+        #: external-side winners by prefix (announced only if resolvable)
+        self.external = RouteTrie(bits)
+        #: everything announced downstream (consistency rule 2 source)
+        self.announced = RouteTrie(bits)
+        #: nexthop address -> set of external prefixes using it
+        self._nexthop_index: Dict[Any, Set[IPNet]] = {}
+
+    # -- helpers ------------------------------------------------------------
+    def _resolves(self, route: Any) -> bool:
+        return self.internal.best_match(route.nexthop) is not None
+
+    @property
+    def unresolved(self) -> Dict[IPNet, Any]:
+        """External routes currently held for lack of a resolvable nexthop."""
+        return {net: route for net, route in self.external.items()
+                if not self._resolves(route)}
+
+    def _index_add(self, route: Any) -> None:
+        self._nexthop_index.setdefault(route.nexthop, set()).add(route.net)
+
+    def _index_remove(self, route: Any) -> None:
+        nets = self._nexthop_index.get(route.nexthop)
+        if nets is not None:
+            nets.discard(route.net)
+            if not nets:
+                del self._nexthop_index[route.nexthop]
+
+    # -- winner computation -------------------------------------------------
+    def _reevaluate(self, net: IPNet) -> None:
+        external = self.external.exact(net)
+        if external is not None and not self._resolves(external):
+            external = None  # unusable: the internal alternative may win
+        internal = self.internal.exact(net)
+        winner = preferred(external, internal)
+        current = self.announced.exact(net)
+        if winner is None:
+            if current is not None:
+                self.announced.discard(net)
+                if self.next_table is not None:
+                    self.next_table.delete_route(current, self)
+            return
+        if current is None:
+            self.announced.insert(net, winner)
+            if self.next_table is not None:
+                self.next_table.add_route(winner, self)
+        elif current is not winner:
+            self.announced.insert(net, winner)
+            if self.next_table is not None:
+                self.next_table.replace_route(current, winner, self)
+
+    def _reevaluate_externals_for(self, changed_net: IPNet) -> None:
+        """Internal routing under *changed_net* changed: resolvability of
+        any external nexthop inside it may have flipped."""
+        affected = [
+            nexthop for nexthop in self._nexthop_index
+            if changed_net.contains_addr(nexthop)
+        ]
+        for nexthop in affected:
+            for net in list(self._nexthop_index.get(nexthop, ())):
+                self._reevaluate(net)
+
+    # -- message handling (routes classify themselves via is_external) --------
+    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+        if route.is_external:
+            self.external.insert(route.net, route)
+            self._index_add(route)
+            self._reevaluate(route.net)
+        else:
+            self.internal.insert(route.net, route)
+            self._reevaluate(route.net)
+            self._reevaluate_externals_for(route.net)
+
+    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+        if route.is_external:
+            self.external.discard(route.net)
+            self._index_remove(route)
+            self._reevaluate(route.net)
+        else:
+            self.internal.discard(route.net)
+            self._reevaluate(route.net)
+            self._reevaluate_externals_for(route.net)
+
+    def replace_route(self, old_route: Any, new_route: Any,
+                      caller: RouteTableStage = None) -> None:
+        if old_route.is_external != new_route.is_external:
+            # Cannot happen with split ext/int sides, but stay safe.
+            self.delete_route(old_route, caller)
+            self.add_route(new_route, caller)
+            return
+        if new_route.is_external:
+            self._index_remove(old_route)
+            self.external.insert(new_route.net, new_route)
+            self._index_add(new_route)
+            self._reevaluate(new_route.net)
+        else:
+            self.internal.insert(new_route.net, new_route)
+            self._reevaluate(new_route.net)
+            self._reevaluate_externals_for(new_route.net)
+
+    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+        return self.announced.exact(net)

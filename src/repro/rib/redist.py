@@ -1,0 +1,102 @@
+"""Route redistribution stages (paper §3, §5.2).
+
+    "A key instrument of routing policy is the process of route
+    redistribution, where routes from one routing protocol that match
+    certain policy filters are redistributed into another routing protocol
+    for advertisement to other routers.  The RIB, as the one part of the
+    system that sees everyone's routes, is central to this process."
+
+A :class:`RedistStage` is a dynamic stage inserted when a watcher
+registers.  Each target supplies a predicate (typically "protocol ==
+X" or a compiled policy filter); matching winners are announced to the
+target via a callback, including an initial dump of pre-existing routes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.stages import RouteTableStage
+from repro.net import IPNet
+from repro.trie import RouteTrie
+
+#: redistribution event callback: (event, route) with event "add"|"delete"
+RedistCallback = Callable[[str, Any], None]
+
+
+class _RedistTarget:
+    __slots__ = ("name", "predicate", "callback", "announced")
+
+    def __init__(self, name: str, predicate: Callable[[Any], bool],
+                 callback: RedistCallback, bits: int):
+        self.name = name
+        self.predicate = predicate
+        self.callback = callback
+        #: which prefixes this target currently knows (for clean deletes
+        #: when a replace changes whether the predicate matches)
+        self.announced = RouteTrie(bits)
+
+
+class RedistStage(RouteTableStage):
+    def __init__(self, name: str, bits: int = 32):
+        super().__init__(name)
+        self.bits = bits
+        self.winners = RouteTrie(bits)
+        self._targets: Dict[str, _RedistTarget] = {}
+
+    # -- target management -------------------------------------------------
+    def add_target(self, name: str, predicate: Callable[[Any], bool],
+                   callback: RedistCallback) -> None:
+        """Register a redistribution target; dumps existing winners."""
+        target = _RedistTarget(name, predicate, callback, self.bits)
+        self._targets[name] = target
+        for net, route in self.winners.items():
+            self._offer(target, route)
+
+    def remove_target(self, name: str) -> None:
+        self._targets.pop(name, None)
+
+    def has_target(self, name: str) -> bool:
+        return name in self._targets
+
+    def _offer(self, target: _RedistTarget, route: Any) -> None:
+        if target.predicate(route):
+            target.announced.insert(route.net, route)
+            target.callback("add", route)
+
+    def _rescind(self, target: _RedistTarget, route: Any) -> None:
+        known = target.announced.discard(route.net)
+        if known is not None:
+            target.callback("delete", known)
+
+    # -- message handling ------------------------------------------------------
+    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+        self.winners.insert(route.net, route)
+        for target in self._targets.values():
+            self._offer(target, route)
+        super().add_route(route, caller)
+
+    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+        self.winners.discard(route.net)
+        for target in self._targets.values():
+            self._rescind(target, route)
+        super().delete_route(route, caller)
+
+    def replace_route(self, old_route: Any, new_route: Any,
+                      caller: RouteTableStage = None) -> None:
+        self.winners.insert(new_route.net, new_route)
+        for target in self._targets.values():
+            matched_before = target.announced.exact(old_route.net) is not None
+            matches_now = target.predicate(new_route)
+            if matched_before and matches_now:
+                target.announced.insert(new_route.net, new_route)
+                target.callback("delete", old_route)
+                target.callback("add", new_route)
+            elif matched_before:
+                self._rescind(target, old_route)
+            elif matches_now:
+                self._offer(target, new_route)
+        super().replace_route(old_route, new_route, caller)
+
+    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+        return self.winners.exact(net)

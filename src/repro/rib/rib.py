@@ -1,0 +1,305 @@
+"""The RIB process: stages wired together plus the ``rib/1.0`` XRL target.
+
+Figure 7 of the paper, as code: origin tables feed a chain of pairwise
+merge stages, then the ExtInt stage, then redistribution and registration
+watchers, and finally a distributor that streams winning routes to the FEA
+over pipelined XRLs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.process import Host, XorpProcess
+from repro.core.stages import OriginStage, RouteTableStage
+from repro.core.txqueue import XrlTransmitQueue
+from repro.interfaces import (
+    COMMON_IDL,
+    REDIST4_IDL,
+    RIB_CLIENT_IDL,
+    RIB_IDL,
+)
+from repro.net import IPNet, IPv4, IPv6
+from repro.profiler import PROFILER_IDL, Profiler
+from repro.rib.extint import ExtIntStage
+from repro.rib.merge import MergeStage
+from repro.rib.redist import RedistStage
+from repro.rib.register import RegisterStage
+from repro.rib.route import ADMIN_DISTANCES, RibRoute
+from repro.xrl import XrlArgs, XrlError
+from repro.xrl.error import XrlErrorCode
+from repro.xrl.xrl import Xrl
+
+
+class _FeaDistributorStage(RouteTableStage):
+    """Terminal stage: pushes winning routes towards the forwarding engine."""
+
+    def __init__(self, name: str, emit):
+        super().__init__(name)
+        self._emit = emit  # emit(op, route)
+
+    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+        self._emit("add", route)
+
+    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+        self._emit("delete", route)
+
+    def replace_route(self, old_route: Any, new_route: Any,
+                      caller: RouteTableStage = None) -> None:
+        # A FIB insert overwrites, so a replace is a single add entry.
+        self._emit("add", new_route)
+
+
+class _Pipeline:
+    """One address family's stage network inside the RIB."""
+
+    def __init__(self, bits: int, tag: str, emit_fea, invalidate_cb):
+        self.bits = bits
+        self.tag = tag
+        self.origins: Dict[str, OriginStage] = {}
+        self.external_protocols: Dict[str, bool] = {}
+        #: two upstream sides, as in paper Figure 7: IGP and EGP folds
+        self.head_int: Optional[RouteTableStage] = None
+        self.head_ext: Optional[RouteTableStage] = None
+        self.extint = ExtIntStage(f"extint{tag}", bits)
+        self.redist = RedistStage(f"redist{tag}", bits)
+        self.register = RegisterStage(f"register{tag}", bits,
+                                      invalidate_cb=invalidate_cb)
+        self.fea_sink = _FeaDistributorStage(f"to-fea{tag}", emit_fea)
+        RouteTableStage.plumb(self.extint, self.redist, self.register,
+                              self.fea_sink)
+        self._merge_count = 0
+
+    def add_origin(self, protocol: str, external: bool) -> OriginStage:
+        existing = self.origins.get(protocol)
+        if existing is not None:
+            return existing
+        origin = OriginStage(f"origin-{protocol}{self.tag}", self.bits)
+        self.origins[protocol] = origin
+        self.external_protocols[protocol] = external
+        side = "head_ext" if external else "head_int"
+        head = getattr(self, side)
+        if head is None:
+            origin.next_table = self.extint
+            setattr(self, side, origin)
+            return origin
+        # Dynamically splice a new pairwise merge stage above the ExtInt
+        # stage — existing flows are untouched because the new branch is
+        # empty (paper: dynamic stages, §5.1.2 / §5.2).  External and
+        # internal protocols fold on separate sides (Figure 7), so the
+        # ExtInt stage always sees both alternatives.
+        self._merge_count += 1
+        merge = MergeStage(f"merge-{self._merge_count}{self.tag}")
+        merge.set_parents(head, origin)
+        merge.next_table = self.extint
+        setattr(self, side, merge)
+        return origin
+
+    def origin(self, protocol: str) -> OriginStage:
+        origin = self.origins.get(protocol)
+        if origin is None:
+            raise XrlError(
+                XrlErrorCode.COMMAND_FAILED,
+                f"protocol {protocol!r} has no {self.tag} table in the RIB",
+            )
+        return origin
+
+
+class RibProcess(XorpProcess):
+    """The RIB as a XORP process."""
+
+    process_name = "rib"
+
+    #: protocols given tables automatically (always present on a router)
+    BUILTIN_IGP_TABLES = ("connected", "static")
+
+    def __init__(self, host: Host, *, fea_target: str = "fea",
+                 window: int = 100):
+        super().__init__(host)
+        self.fea_target = fea_target
+        self.xrl = self.create_router("rib", singleton=True)
+        self.profiler = Profiler(self.loop.clock)
+        self._prof_arrive = self.profiler.create("route_arrive_rib")
+        self._prof_queued_fea = self.profiler.create("route_queued_fea")
+        self._prof_sent_fea = self.profiler.create("route_sent_fea")
+        self.txq = XrlTransmitQueue(self.xrl, window=window)
+        self.v4 = _Pipeline(32, "4", self._emit_fea4, self._notify_invalid4)
+        self.v6 = _Pipeline(128, "6", self._emit_fea6, lambda *a: None)
+        for protocol in self.BUILTIN_IGP_TABLES:
+            self.v4.add_origin(protocol, external=False)
+            self.v6.add_origin(protocol, external=False)
+        self.xrl.bind(RIB_IDL, self)
+        self.xrl.bind(PROFILER_IDL, self.profiler)
+        self.xrl.bind(COMMON_IDL, self)
+        self._redist_targets: Dict[str, str] = {}
+
+    # -- FEA distribution ----------------------------------------------------
+    def _emit_fea4(self, op: str, route: Any) -> None:
+        self._prof_queued_fea.log(f"{op} {route.net}")
+        if op == "add":
+            args = (XrlArgs().add_ipv4net("net", route.net)
+                    .add_ipv4("nexthop", route.nexthop)
+                    .add_txt("ifname", route.ifname))
+            xrl = Xrl(self.fea_target, "fea_fib", "1.0", "add_entry4", args)
+        else:
+            args = XrlArgs().add_ipv4net("net", route.net)
+            xrl = Xrl(self.fea_target, "fea_fib", "1.0", "delete_entry4", args)
+        data = f"{op} {route.net}"
+        self.txq.enqueue(xrl, on_sent=lambda: self._prof_sent_fea.log(data))
+
+    def _emit_fea6(self, op: str, route: Any) -> None:
+        if op == "add":
+            args = (XrlArgs().add_ipv6net("net", route.net)
+                    .add_ipv6("nexthop", route.nexthop)
+                    .add_txt("ifname", route.ifname))
+            xrl = Xrl(self.fea_target, "fea_fib", "1.0", "add_entry6", args)
+        else:
+            args = XrlArgs().add_ipv6net("net", route.net)
+            xrl = Xrl(self.fea_target, "fea_fib", "1.0", "delete_entry6", args)
+        self.txq.enqueue(xrl)
+
+    # -- invalidation notifications (paper §5.2.1) ----------------------------
+    def _notify_invalid4(self, client: str, subnet: IPNet) -> None:
+        args = XrlArgs().add_ipv4net("subnet", subnet)
+        xrl = Xrl(client, "rib_client", "0.1", "route_info_invalid4", args)
+        self.xrl.send(xrl)
+
+    # -- rib/1.0 handlers ---------------------------------------------------
+    def xrl_add_igp_table4(self, protocol: str) -> None:
+        self.v4.add_origin(protocol, external=False)
+
+    def xrl_add_egp_table4(self, protocol: str) -> None:
+        self.v4.add_origin(protocol, external=True)
+
+    def xrl_add_igp_table6(self, protocol: str) -> None:
+        self.v6.add_origin(protocol, external=False)
+
+    def xrl_add_egp_table6(self, protocol: str) -> None:
+        self.v6.add_origin(protocol, external=True)
+
+    def _make_route(self, pipeline: _Pipeline, protocol: str, net: IPNet,
+                    nexthop, metric: int, policytags) -> RibRoute:
+        tags = [atom.value for atom in policytags] if policytags else []
+        return RibRoute(
+            net, nexthop, metric, protocol,
+            is_external=pipeline.external_protocols.get(protocol, False),
+            policytags=tags,
+        )
+
+    def xrl_add_route4(self, protocol, net, nexthop, metric, policytags) -> None:
+        self._prof_arrive.log(f"add {net}")
+        origin = self.v4.origin(protocol)
+        route = self._make_route(self.v4, protocol, net, nexthop, metric,
+                                 policytags)
+        origin.originate(route)
+
+    def xrl_replace_route4(self, protocol, net, nexthop, metric,
+                           policytags) -> None:
+        self._prof_arrive.log(f"replace {net}")
+        self.xrl_add_route4(protocol, net, nexthop, metric, policytags)
+
+    def xrl_delete_route4(self, protocol, net) -> None:
+        self._prof_arrive.log(f"delete {net}")
+        origin = self.v4.origin(protocol)
+        if origin.withdraw_if_present(net) is None:
+            raise XrlError(
+                XrlErrorCode.COMMAND_FAILED,
+                f"no {protocol} route for {net}",
+            )
+
+    def xrl_add_route6(self, protocol, net, nexthop, metric, policytags) -> None:
+        origin = self.v6.origin(protocol)
+        route = self._make_route(self.v6, protocol, net, nexthop, metric,
+                                 policytags)
+        origin.originate(route)
+
+    def xrl_replace_route6(self, protocol, net, nexthop, metric,
+                           policytags) -> None:
+        self.xrl_add_route6(protocol, net, nexthop, metric, policytags)
+
+    def xrl_delete_route6(self, protocol, net) -> None:
+        origin = self.v6.origin(protocol)
+        if origin.withdraw_if_present(net) is None:
+            raise XrlError(
+                XrlErrorCode.COMMAND_FAILED,
+                f"no {protocol} route for {net}",
+            )
+
+    def xrl_lookup_route_by_dest4(self, addr) -> dict:
+        route = self.v4.register.lookup_by_dest(addr)
+        if route is None:
+            return {"resolves": False, "net": IPNet(IPv4(0), 0),
+                    "nexthop": IPv4(0), "metric": 0, "admin_distance": 255,
+                    "protocol": ""}
+        return {"resolves": True, "net": route.net, "nexthop": route.nexthop,
+                "metric": route.metric,
+                "admin_distance": route.admin_distance,
+                "protocol": route.protocol}
+
+    def xrl_register_interest4(self, target, addr) -> dict:
+        subnet, route = self.v4.register.register_interest(target, addr)
+        if route is None:
+            return {"resolves": False, "net": IPNet(IPv4(0), 0),
+                    "subnet": subnet, "nexthop": IPv4(0), "metric": 0,
+                    "admin_distance": 255}
+        return {"resolves": True, "net": route.net, "subnet": subnet,
+                "nexthop": route.nexthop, "metric": route.metric,
+                "admin_distance": route.admin_distance}
+
+    def xrl_deregister_interest4(self, target, subnet) -> None:
+        self.v4.register.deregister_interest(target, subnet)
+
+    def xrl_redist_enable4(self, target: str, from_protocol: str) -> None:
+        key = f"{target}:{from_protocol}"
+        if self.v4.redist.has_target(key):
+            return
+        self._redist_targets[key] = target
+        self.v4.redist.add_target(
+            key,
+            predicate=lambda route: route.protocol == from_protocol,
+            callback=lambda op, route: self._emit_redist4(target, op, route),
+        )
+
+    def xrl_redist_disable4(self, target: str, from_protocol: str) -> None:
+        key = f"{target}:{from_protocol}"
+        self.v4.redist.remove_target(key)
+        self._redist_targets.pop(key, None)
+
+    def _emit_redist4(self, target: str, op: str, route: Any) -> None:
+        if op == "add":
+            args = (XrlArgs().add_ipv4net("net", route.net)
+                    .add_ipv4("nexthop", route.nexthop)
+                    .add_u32("metric", route.metric)
+                    .add_u32("admin_distance", route.admin_distance)
+                    .add_txt("protocol", route.protocol)
+                    .add_list("policytags", _tag_atoms(route.policytags)))
+            xrl = Xrl(target, "redist4", "0.1", "redist_add_route4", args)
+        else:
+            args = (XrlArgs().add_ipv4net("net", route.net)
+                    .add_txt("protocol", route.protocol))
+            xrl = Xrl(target, "redist4", "0.1", "redist_delete_route4", args)
+        self.txq.enqueue(xrl)
+
+    def xrl_get_protocol_admin_distance(self, protocol: str) -> dict:
+        return {"admin_distance":
+                ADMIN_DISTANCES.get(protocol, ADMIN_DISTANCES["unknown"])}
+
+    # -- common/0.1 ----------------------------------------------------------
+    def xrl_get_target_name(self) -> dict:
+        return {"name": self.xrl.instance_name}
+
+    def xrl_get_version(self) -> dict:
+        return {"version": "repro-rib/1.0"}
+
+    def xrl_get_status(self) -> dict:
+        return {"status": "running" if self.running else "shutdown"}
+
+    def xrl_shutdown(self) -> None:
+        self.loop.call_soon(self.shutdown)
+
+
+def _tag_atoms(tags):
+    from repro.xrl.types import XrlAtom, XrlAtomType
+
+    return [XrlAtom(f"tag{i}", XrlAtomType.U32, tag)
+            for i, tag in enumerate(tags)]

@@ -1,0 +1,13 @@
+"""RIP (RFC 2453 style) as a XORP process.
+
+RIP demonstrates the paper's security architecture: it never opens a
+socket itself — all packet I/O is relayed through the FEA over XRLs
+(paper §7), so the RIP process can run fully sandboxed.  Its routes feed
+the RIB like any other protocol's, and routes redistributed from other
+protocols arrive over the ``redist4/0.1`` XRL feed.
+"""
+
+from repro.rip.packets import RipEntry, RipPacket, RipPacketError
+from repro.rip.process import RipProcess
+
+__all__ = ["RipEntry", "RipPacket", "RipPacketError", "RipProcess"]

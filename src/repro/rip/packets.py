@@ -1,0 +1,154 @@
+"""RIPv2 packet wire format (RFC 2453), with simple-password authentication."""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from repro.net import IPNet, IPv4
+
+RIP_COMMAND_REQUEST = 1
+RIP_COMMAND_RESPONSE = 2
+RIP_VERSION_2 = 2
+RIP_PORT = 520
+RIP_INFINITY = 16
+RIP_MAX_ENTRIES = 25
+RIP_AF_INET = 2
+RIP_AF_AUTH = 0xFFFF
+RIP_AUTH_SIMPLE = 2
+#: AFI 0 in a request asks for the whole table
+RIP_AF_UNSPEC = 0
+#: all-RIP-routers multicast group
+RIP_MCAST_GROUP = IPv4("224.0.0.9")
+
+
+class RipPacketError(ValueError):
+    """Malformed RIP packet."""
+
+
+def _mask_from_len(prefix_len: int) -> int:
+    if prefix_len == 0:
+        return 0
+    return (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
+
+
+def _len_from_mask(mask: int) -> int:
+    # Reject non-contiguous masks.
+    prefix_len = bin(mask).count("1")
+    if _mask_from_len(prefix_len) != mask:
+        raise RipPacketError(f"non-contiguous netmask {mask:#010x}")
+    return prefix_len
+
+
+class RipEntry:
+    """One route entry (RTE)."""
+
+    __slots__ = ("afi", "tag", "net", "nexthop", "metric")
+
+    def __init__(self, net: IPNet, metric: int, *, tag: int = 0,
+                 nexthop: Optional[IPv4] = None, afi: int = RIP_AF_INET):
+        if not 0 <= metric <= RIP_INFINITY:
+            raise RipPacketError(f"metric {metric} out of range")
+        self.afi = afi
+        self.tag = tag
+        self.net = net
+        self.nexthop = nexthop if nexthop is not None else IPv4(0)
+        self.metric = metric
+
+    def encode(self) -> bytes:
+        return struct.pack(
+            "!HHIIII", self.afi, self.tag, self.net.network.to_int(),
+            _mask_from_len(self.net.prefix_len), self.nexthop.to_int(),
+            self.metric,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> "RipEntry":
+        afi, tag, addr, mask, nexthop, metric = struct.unpack_from(
+            "!HHIIII", data, offset)
+        if metric > RIP_INFINITY:
+            raise RipPacketError(f"metric {metric} above infinity")
+        net = IPNet(IPv4(addr), _len_from_mask(mask))
+        return cls(net, metric, tag=tag, nexthop=IPv4(nexthop), afi=afi)
+
+    def is_whole_table_request(self) -> bool:
+        return self.afi == RIP_AF_UNSPEC and self.metric == RIP_INFINITY
+
+    def __repr__(self) -> str:
+        return f"RipEntry({self.net} metric={self.metric} tag={self.tag})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, RipEntry) and self.net == other.net
+                and self.metric == other.metric and self.tag == other.tag
+                and self.nexthop == other.nexthop and self.afi == other.afi)
+
+
+class RipPacket:
+    """A RIP REQUEST or RESPONSE with up to 25 entries."""
+
+    __slots__ = ("command", "version", "entries", "auth_password")
+
+    def __init__(self, command: int, entries: Optional[List[RipEntry]] = None,
+                 *, version: int = RIP_VERSION_2,
+                 auth_password: Optional[str] = None):
+        if command not in (RIP_COMMAND_REQUEST, RIP_COMMAND_RESPONSE):
+            raise RipPacketError(f"bad RIP command {command}")
+        self.command = command
+        self.version = version
+        self.entries = list(entries) if entries else []
+        self.auth_password = auth_password
+        max_entries = RIP_MAX_ENTRIES - (1 if auth_password is not None else 0)
+        if len(self.entries) > max_entries:
+            raise RipPacketError(
+                f"too many entries ({len(self.entries)} > {max_entries})")
+
+    @classmethod
+    def whole_table_request(cls) -> "RipPacket":
+        entry = RipEntry(IPNet(IPv4(0), 0), RIP_INFINITY, afi=RIP_AF_UNSPEC)
+        return cls(RIP_COMMAND_REQUEST, [entry])
+
+    def encode(self) -> bytes:
+        parts = [struct.pack("!BBH", self.command, self.version, 0)]
+        if self.auth_password is not None:
+            password = self.auth_password.encode("utf-8")[:16]
+            parts.append(struct.pack("!HH", RIP_AF_AUTH, RIP_AUTH_SIMPLE)
+                         + password.ljust(16, b"\x00"))
+        parts.extend(entry.encode() for entry in self.entries)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RipPacket":
+        if len(data) < 4 or (len(data) - 4) % 20 != 0:
+            raise RipPacketError(f"bad RIP packet length {len(data)}")
+        command, version, zero = struct.unpack_from("!BBH", data, 0)
+        if command not in (RIP_COMMAND_REQUEST, RIP_COMMAND_RESPONSE):
+            raise RipPacketError(f"bad RIP command {command}")
+        if zero != 0:
+            raise RipPacketError("non-zero pad field")
+        entries = []
+        auth_password = None
+        offset = 4
+        first = True
+        while offset < len(data):
+            (afi,) = struct.unpack_from("!H", data, offset)
+            if afi == RIP_AF_AUTH:
+                if not first:
+                    raise RipPacketError("auth entry not first")
+                (auth_type,) = struct.unpack_from("!H", data, offset + 2)
+                if auth_type != RIP_AUTH_SIMPLE:
+                    raise RipPacketError(f"unsupported auth type {auth_type}")
+                raw = data[offset + 4 : offset + 20]
+                try:
+                    auth_password = raw.rstrip(b"\x00").decode("utf-8")
+                except UnicodeDecodeError as exc:
+                    raise RipPacketError("undecodable password") from exc
+            else:
+                entries.append(RipEntry.decode(data, offset))
+            offset += 20
+            first = False
+        return cls(command, entries, version=version,
+                   auth_password=auth_password)
+
+    def __repr__(self) -> str:
+        kind = "REQUEST" if self.command == RIP_COMMAND_REQUEST else "RESPONSE"
+        return f"RipPacket({kind}, {len(self.entries)} entries)"

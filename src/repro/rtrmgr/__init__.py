@@ -1,0 +1,34 @@
+"""The Router Manager (paper §3).
+
+    "The 'Router Manager' holds the router configuration and starts,
+    configures, and stops protocols and other router functionality.  It
+    hides the router's internal structure from the user, providing
+    operators with unified management interfaces for examination and
+    reconfiguration."
+
+Pieces:
+
+* :mod:`repro.rtrmgr.template` — template files define the configuration
+  schema (the mechanism §8.3 says dynamically extends the CLI language);
+* :mod:`repro.rtrmgr.config_tree` — the configuration tree, validated
+  against the template, rendered/parsed in braces syntax;
+* :mod:`repro.rtrmgr.rtrmgr` — module lifecycle and commit: config
+  changes are diffed and applied to the managed processes via XRLs, and
+  Finder ACLs are installed for each started module (paper §7);
+* :mod:`repro.rtrmgr.cli` — a small scriptable command-line interface.
+"""
+
+from repro.rtrmgr.cli import Cli
+from repro.rtrmgr.config_tree import ConfigError, ConfigTree
+from repro.rtrmgr.rtrmgr import RouterManager
+from repro.rtrmgr.template import TemplateError, TemplateNode, parse_template
+
+__all__ = [
+    "Cli",
+    "ConfigError",
+    "ConfigTree",
+    "RouterManager",
+    "TemplateError",
+    "TemplateNode",
+    "parse_template",
+]

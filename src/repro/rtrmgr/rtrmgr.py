@@ -1,0 +1,385 @@
+"""Router Manager: module lifecycle and configuration commit.
+
+The Router Manager owns the candidate and committed configuration trees.
+On commit it:
+
+1. starts any modules (processes) the new configuration requires — each
+   through a pluggable factory, so third-party protocols register here
+   exactly like BGP and RIP do;
+2. installs Finder ACLs for each started module (paper §7: "The Finder is
+   configured with a set of XRLs that each process is allowed to call,
+   and a set of targets that each process is allowed to communicate
+   with");
+3. diffs committed vs. candidate state per subsystem and drives the
+   managed processes via XRLs;
+4. on failure, rolls the candidate back to the committed tree.
+
+"XORP centralizes all configuration information in the Router Manager,
+so no XORP process needs to access the filesystem to load or save its
+configuration."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.process import Host, XorpProcess
+from repro.interfaces import COMMON_IDL, RTRMGR_IDL
+from repro.net import IPv4
+from repro.rtrmgr.config_tree import ConfigError, ConfigTree
+from repro.rtrmgr.template import DEFAULT_TEMPLATE, parse_template
+from repro.xrl import XrlArgs, XrlError
+from repro.xrl.xrl import Xrl
+
+#: Finder ACLs installed per module class (target classes it may resolve)
+MODULE_ACLS = {
+    "bgp": {"rib", "bgp"},
+    "rip": {"rib", "fea", "rip"},
+    "ospf": {"rib", "fea"},
+    "static_routes": {"rib"},
+    "pim": {"rib", "fea", "mld6igmp"},
+    "mld6igmp": {"pim"},
+}
+
+
+class CommitError(RuntimeError):
+    """A commit failed and was rolled back."""
+
+
+class RouterManager(XorpProcess):
+    process_name = "rtrmgr"
+
+    def __init__(self, host: Host, *, template_text: Optional[str] = None):
+        super().__init__(host)
+        self.template = parse_template(
+            template_text if template_text is not None else DEFAULT_TEMPLATE)
+        self.config = ConfigTree(self.template)      # candidate
+        self.committed = ConfigTree(self.template)   # running
+        self.xrl = self.create_router("rtrmgr", singleton=True)
+        self.xrl.bind(RTRMGR_IDL, self)
+        self.xrl.bind(COMMON_IDL, self)
+        self.modules: Dict[str, XorpProcess] = {}
+        self.module_factories: Dict[str, Callable] = {
+            "bgp": self._make_bgp,
+            "rip": self._make_rip,
+            "static_routes": self._make_static,
+            "ospf": self._make_ospf,
+            "pim": self._make_pim,
+            "mld6igmp": self._make_mld6igmp,
+        }
+        #: hook fired after a BGP peer is configured: (peer_addr, handler)
+        self.on_peer_added: Optional[Callable] = None
+        self.commit_count = 0
+
+    # -- candidate configuration editing ------------------------------------
+    def set(self, path_text: str, value: Any = None) -> None:
+        """``set("protocols bgp local-as", 65001)``-style editing."""
+        self.config.set(path_text.split(), value)
+
+    def delete(self, path_text: str) -> None:
+        self.config.delete(path_text.split())
+
+    def load(self, config_text: str) -> None:
+        """Replace the candidate with parsed braces-syntax text."""
+        self.config = ConfigTree(self.template)
+        self.config.load(config_text)
+
+    def show(self) -> str:
+        return self.committed.render()
+
+    def show_candidate(self) -> str:
+        return self.config.render()
+
+    # -- module factories -------------------------------------------------------
+    def _make_bgp(self) -> XorpProcess:
+        from repro.bgp import BgpProcess
+
+        local_as = self.config.get_value(["protocols", "bgp", "local-as"])
+        if local_as is None:
+            raise CommitError("protocols bgp local-as must be set")
+        bgp_id = self.config.get_value(["protocols", "bgp", "bgp-id"],
+                                       IPv4("127.0.0.1"))
+        return BgpProcess(self.host, local_as=int(local_as),
+                          bgp_id=IPv4(bgp_id))
+
+    def _make_rip(self) -> XorpProcess:
+        from repro.rip import RipProcess
+
+        return RipProcess(self.host)
+
+    def _make_ospf(self) -> XorpProcess:
+        from repro.ospf import OspfProcess
+
+        router_id = self.config.get_value(["protocols", "ospf", "router-id"])
+        if router_id is None:
+            raise CommitError("protocols ospf router-id must be set")
+        return OspfProcess(self.host, IPv4(router_id))
+
+    def _make_static(self) -> XorpProcess:
+        from repro.staticroutes import StaticRoutesProcess
+
+        return StaticRoutesProcess(self.host)
+
+    def _make_pim(self) -> XorpProcess:
+        from repro.pim import PimProcess
+
+        return PimProcess(self.host)
+
+    def _make_mld6igmp(self) -> XorpProcess:
+        from repro.mld6igmp import Mld6igmpProcess
+
+        return Mld6igmpProcess(self.host)
+
+    def register_module_factory(self, name: str, factory: Callable, *,
+                                allowed_targets: Optional[set] = None) -> None:
+        """Extension point: third-party protocols plug in here."""
+        self.module_factories[name] = factory
+        if allowed_targets is not None:
+            MODULE_ACLS[name] = set(allowed_targets)
+
+    # -- commit -------------------------------------------------------------
+    def _required_modules(self) -> List[str]:
+        required = []
+        if self.config.exists(["protocols", "bgp"]):
+            required.append("bgp")
+        if self.config.exists(["protocols", "rip"]):
+            required.append("rip")
+        if self.config.exists(["protocols", "ospf"]):
+            required.append("ospf")
+        if self.config.exists(["protocols", "static"]):
+            required.append("static_routes")
+        if self.config.exists(["protocols", "pim"]):
+            required.extend(["mld6igmp", "pim"])
+        return required
+
+    def _start_module(self, name: str) -> XorpProcess:
+        factory = self.module_factories.get(name)
+        if factory is None:
+            raise CommitError(f"no module factory for {name!r}")
+        process = factory()
+        self.modules[name] = process
+        acl = MODULE_ACLS.get(name)
+        if acl is not None:
+            for router in process.routers:
+                self.host.finder.set_acl(router.instance_name,
+                                         allowed_targets=set(acl))
+        return process
+
+    def commit(self) -> None:
+        """Apply the candidate configuration; roll back on failure."""
+        try:
+            for name in self._required_modules():
+                if name not in self.modules:
+                    self._start_module(name)
+            self._apply_interfaces()
+            self._apply_policy()
+            self._apply_bgp()
+            self._apply_static()
+            self._apply_rip()
+            self._apply_ospf()
+            self._apply_pim()
+        except (XrlError, CommitError, ConfigError) as exc:
+            # Roll back the candidate to the running configuration.
+            rollback = ConfigTree(self.template)
+            rendered = self.committed.render()
+            if rendered.strip():
+                rollback.load(rendered)
+            self.config = rollback
+            raise CommitError(f"commit failed, rolled back: {exc}") from exc
+        # Promote candidate -> committed (fresh copy keeps them detached).
+        promoted = ConfigTree(self.template)
+        rendered = self.config.render()
+        if rendered.strip():
+            promoted.load(rendered)
+        self.committed = promoted
+        self.commit_count += 1
+
+    def _call(self, target: str, interface: str, version: str, method: str,
+              args: XrlArgs) -> XrlArgs:
+        error, result = self.xrl.send_sync(
+            Xrl(target, interface, version, method, args), timeout=30)
+        if not error.is_okay:
+            raise CommitError(f"{target}/{method}: {error}")
+        return result
+
+    # -- per-subsystem appliers ------------------------------------------------
+    def _apply_interfaces(self) -> None:
+        fea = self.host.processes.get("fea")
+        if fea is None:
+            return
+        for node in self.config.tag_instances(["interfaces", "interface"]):
+            ifname = node.tag_value
+            base = ["interfaces", "interface", str(ifname)]
+            addr = self.config.get_value(base + ["address"])
+            if fea.ifmgr.find(str(ifname)) is None and addr is not None:
+                prefix_len = int(self.config.get_value(
+                    base + ["prefix-length"], 24))
+                fea.ifmgr.create(str(ifname), addr, prefix_len)
+            enabled = self.config.get_value(base + ["enabled"], True)
+            interface = fea.ifmgr.find(str(ifname))
+            if interface is not None:
+                interface.enabled = bool(enabled)
+
+    def _policy_source(self, name: str) -> Optional[str]:
+        if self.config.exists(["policy", "statement", name]):
+            return self.config.get_value(
+                ["policy", "statement", name, "source"])
+        return None
+
+    def _apply_policy(self) -> None:
+        pass  # sources are pulled on demand by _apply_bgp
+
+    def _apply_bgp(self) -> None:
+        if "bgp" not in self.modules:
+            return
+        bgp = self.modules["bgp"]
+        # Policies first: they affect routes from new peers.
+        for direction, filter_id in (("import-policy", 1), ("export-policy", 4)):
+            name = self.config.get_value(["protocols", "bgp", direction])
+            if name is not None:
+                source = self._policy_source(str(name))
+                if source is None:
+                    raise CommitError(f"policy statement {name!r} not defined")
+                args = (XrlArgs().add_u32("filter_id", filter_id)
+                        .add_txt("policy_source", source))
+                self._call("bgp", "policy", "0.1", "configure_filter", args)
+        wanted = {}
+        for node in self.config.tag_instances(["protocols", "bgp", "peer"]):
+            addr = node.tag_value
+            base = ["protocols", "bgp", "peer", str(addr)]
+            peer_as = self.config.get_value(base + ["as"])
+            local_ip = self.config.get_value(base + ["local-ip"])
+            holdtime = int(self.config.get_value(base + ["holdtime"], 90))
+            if peer_as is None or local_ip is None:
+                raise CommitError(
+                    f"peer {addr}: 'as' and 'local-ip' are mandatory")
+            wanted[str(addr)] = (addr, int(peer_as), local_ip, holdtime)
+        existing = set(bgp.peers)
+        for peer_id in existing - set(wanted):
+            args = XrlArgs().add_ipv4("peer", IPv4(peer_id))
+            self._call("bgp", "bgp", "1.0", "delete_peer", args)
+        for peer_id, (addr, peer_as, local_ip, holdtime) in wanted.items():
+            if peer_id in existing:
+                continue
+            args = XrlArgs()
+            args.add_ipv4("peer", addr)
+            from repro.xrl.types import XrlAtom, XrlAtomType
+
+            args.add(XrlAtom("as", XrlAtomType.U32, peer_as))
+            args.add_ipv4("next_hop", local_ip)
+            args.add_u32("holdtime", holdtime)
+            self._call("bgp", "bgp", "1.0", "add_peer", args)
+            if self.on_peer_added is not None:
+                self.on_peer_added(peer_id, bgp.peers[peer_id])
+
+    def _apply_static(self) -> None:
+        if "static_routes" not in self.modules:
+            return
+        static = self.modules["static_routes"]
+        wanted: Dict[str, Tuple] = {}
+        for node in self.config.tag_instances(["protocols", "static", "route"]):
+            net = node.tag_value
+            base = ["protocols", "static", "route", str(net)]
+            nexthop = self.config.get_value(base + ["next-hop"])
+            if nexthop is None:
+                raise CommitError(f"static route {net}: next-hop is mandatory")
+            metric = int(self.config.get_value(base + ["metric"], 1))
+            wanted[str(net)] = (net, nexthop, metric)
+        existing = {str(net) for net in static.routes}
+        for net_text in existing - set(wanted):
+            args = XrlArgs().add_ipv4net("net", net_text)
+            self._call("static_routes", "static_routes", "0.1",
+                       "delete_route4", args)
+        for net_text, (net, nexthop, metric) in wanted.items():
+            current = static.routes.get(net)
+            if current == (nexthop, metric):
+                continue
+            args = (XrlArgs().add_ipv4net("net", net)
+                    .add_ipv4("nexthop", nexthop).add_u32("metric", metric))
+            self._call("static_routes", "static_routes", "0.1",
+                       "add_route4", args)
+
+    def _apply_rip(self) -> None:
+        if "rip" not in self.modules:
+            return
+        rip = self.modules["rip"]
+        fea = self.host.processes.get("fea")
+        wanted = {}
+        for node in self.config.tag_instances(["protocols", "rip", "interface"]):
+            ifname = str(node.tag_value)
+            cost = int(self.config.get_value(
+                ["protocols", "rip", "interface", ifname, "cost"], 1))
+            wanted[ifname] = cost
+        for ifname in set(rip.ports) - set(wanted):
+            args = (XrlArgs().add_txt("ifname", ifname)
+                    .add_ipv4("addr", rip.ports[ifname].addr))
+            self._call("rip", "rip", "1.0", "remove_rip_address", args)
+        for ifname, cost in wanted.items():
+            if ifname not in rip.ports:
+                if fea is None or fea.ifmgr.find(ifname) is None:
+                    raise CommitError(f"rip interface {ifname!r} does not exist")
+                addr = fea.ifmgr.get(ifname).addr
+                args = XrlArgs().add_txt("ifname", ifname).add_ipv4("addr", addr)
+                self._call("rip", "rip", "1.0", "add_rip_address", args)
+            if rip.ports[ifname].cost != cost:
+                args = XrlArgs().add_txt("ifname", ifname).add_u32("cost", cost)
+                self._call("rip", "rip", "1.0", "set_cost", args)
+        for node in self.config.tag_instances(
+                ["protocols", "rip", "redistribute"]):
+            args = (XrlArgs().add_txt("target", "rip")
+                    .add_txt("from_protocol", str(node.tag_value)))
+            self._call("rib", "rib", "1.0", "redist_enable4", args)
+
+    def _apply_ospf(self) -> None:
+        if "ospf" not in self.modules:
+            return
+        ospf = self.modules["ospf"]
+        fea = self.host.processes.get("fea")
+        for node in self.config.tag_instances(
+                ["protocols", "ospf", "interface"]):
+            ifname = str(node.tag_value)
+            if ifname in ospf.interfaces:
+                continue
+            if fea is None or fea.ifmgr.find(ifname) is None:
+                raise CommitError(f"ospf interface {ifname!r} does not exist")
+            interface = fea.ifmgr.get(ifname)
+            cost = int(self.config.get_value(
+                ["protocols", "ospf", "interface", ifname, "cost"], 1))
+            args = (XrlArgs().add_txt("ifname", ifname)
+                    .add_ipv4("addr", interface.addr)
+                    .add_u32("prefix_len", interface.prefix_len)
+                    .add_u32("cost", cost))
+            self._call("ospf", "ospf", "0.1", "add_ospf_interface", args)
+
+    def _apply_pim(self) -> None:
+        if "pim" not in self.modules:
+            return
+        for node in self.config.tag_instances(["protocols", "pim", "rp"]):
+            prefix = node.tag_value
+            rp_addr = self.config.get_value(
+                ["protocols", "pim", "rp", str(prefix), "address"])
+            if rp_addr is None:
+                raise CommitError(f"pim rp {prefix}: address is mandatory")
+            args = (XrlArgs().add_ipv4net("group_prefix", prefix)
+                    .add_ipv4("rp", rp_addr))
+            self._call("pim", "pim", "0.1", "set_rp", args)
+
+    # -- rtrmgr/1.0 -----------------------------------------------------------
+    def xrl_get_config(self) -> dict:
+        return {"config": self.committed.render()}
+
+    def xrl_get_modules(self) -> dict:
+        return {"modules": ",".join(sorted(self.modules))}
+
+    # -- common/0.1 ------------------------------------------------------------
+    def xrl_get_target_name(self) -> dict:
+        return {"name": self.xrl.instance_name}
+
+    def xrl_get_version(self) -> dict:
+        return {"version": "repro-rtrmgr/1.0"}
+
+    def xrl_get_status(self) -> dict:
+        return {"status": "running" if self.running else "shutdown"}
+
+    def xrl_shutdown(self) -> None:
+        self.loop.call_soon(self.shutdown)

@@ -1,0 +1,24 @@
+"""Simulated network substrate.
+
+The paper's evaluation ran on a testbed of real routers (a XORP box, a
+Cisco 4500, Quagga and MRTD hosts) exchanging real packets.  This package
+is the synthetic equivalent: hosts with interfaces, point-to-point links
+with latency, a datagram service wired into each router's FEA, reliable
+byte-stream channels for BGP sessions, and hop-by-hop packet forwarding
+through the simulated FIBs — all on the deterministic simulated clock.
+"""
+
+from repro.simnet.network import Link, SimNetwork, SimPacketIO, SimRouter
+from repro.simnet.baselines import (
+    EventDrivenRouterModel,
+    ScannerRouterModel,
+)
+
+__all__ = [
+    "EventDrivenRouterModel",
+    "Link",
+    "ScannerRouterModel",
+    "SimNetwork",
+    "SimPacketIO",
+    "SimRouter",
+]

@@ -1,0 +1,5 @@
+"""Static routes as a XORP process (paper Figure 7's "Static Routes" origin)."""
+
+from repro.staticroutes.process import StaticRoutesProcess
+
+__all__ = ["StaticRoutesProcess"]

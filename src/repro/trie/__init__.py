@@ -1,0 +1,20 @@
+"""Patricia trie for routing tables, with safe iterators (paper §5.3).
+
+    "The XORP library includes route table iterator data structures ...
+    (as well as a Patricia Tree implementation for the routing tables
+    themselves). ... we use some spare bits in each route tree node to hold
+    a reference count of the number of iterators currently pointing at this
+    tree node.  If the route tree receives a request to delete a node, the
+    node's data is invalidated, but the node itself is not removed
+    immediately unless the reference count is zero.  It is the
+    responsibility of the last iterator leaving a previously-deleted node
+    to actually perform the deletion."
+
+Background tasks (deletion stages, dump stages, policy re-filter tasks)
+park a :class:`TrieIterator` in the table between slices; route churn while
+the task is paused can never invalidate it.
+"""
+
+from repro.trie.trie import RouteTrie, TrieIterator, TrieNode
+
+__all__ = ["RouteTrie", "TrieIterator", "TrieNode"]

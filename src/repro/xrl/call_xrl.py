@@ -1,0 +1,39 @@
+"""Scriptable XRL invocation — the ``call_xrl`` facility.
+
+    "the textual form permits XRLs to be called from any scripting
+    language via a simple call_xrl program.  This is put to frequent use
+    in all our scripts for automated testing."  (paper §6.1)
+
+:func:`call_xrl` takes the canonical textual XRL form, dispatches it
+synchronously, and renders the response in text, so test scripts can treat
+the whole router as a command-line-drivable black box.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.xrl.error import XrlError
+from repro.xrl.router import XrlRouter
+from repro.xrl.xrl import Xrl
+
+
+def call_xrl(router: XrlRouter, xrl_text: str,
+             timeout: float = 30.0) -> Tuple[XrlError, str]:
+    """Dispatch the textual XRL via *router*; return (error, response-text).
+
+    The response text is the canonical ``name:type=value&...`` rendering of
+    the return values — the exact format scripts parse.
+    """
+    xrl = Xrl.from_text(xrl_text)
+    error, args = router.send_sync(xrl, timeout=timeout)
+    return error, args.to_text()
+
+
+def call_xrl_checked(router: XrlRouter, xrl_text: str,
+                     timeout: float = 30.0) -> str:
+    """Like :func:`call_xrl` but raises :class:`XrlError` on failure."""
+    error, text = call_xrl(router, xrl_text, timeout=timeout)
+    if not error.is_okay:
+        raise error
+    return text

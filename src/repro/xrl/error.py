@@ -1,0 +1,44 @@
+"""XRL error codes and exceptions."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class XrlErrorCode(IntEnum):
+    """Dispatch outcome codes, mirroring XORP's ``XrlError``."""
+
+    OKAY = 100
+    RESOLVE_FAILED = 200        # the Finder knows no such target/method
+    NO_FINDER = 201             # no route to any Finder
+    ACCESS_DENIED = 202         # ACL rejected the call (paper §7)
+    BAD_KEY = 203               # resolved-method key mismatch (paper §7)
+    NO_SUCH_METHOD = 210        # target exists but lacks the method
+    BAD_ARGS = 211              # argument names/types don't match
+    COMMAND_FAILED = 212        # handler signalled failure
+    SEND_FAILED = 220           # transport could not deliver
+    REPLY_TIMED_OUT = 221
+    INTERNAL_ERROR = 230
+
+
+class XrlError(Exception):
+    """An XRL-level failure, carrying a code and a human-readable note."""
+
+    def __init__(self, code: XrlErrorCode, note: str = ""):
+        super().__init__(f"{code.name}: {note}" if note else code.name)
+        self.code = code
+        self.note = note
+
+    @classmethod
+    def okay(cls) -> "XrlError":
+        return cls(XrlErrorCode.OKAY)
+
+    @property
+    def is_okay(self) -> bool:
+        return self.code == XrlErrorCode.OKAY
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, XrlError) and self.code == other.code
+
+    def __hash__(self) -> int:
+        return hash(self.code)

@@ -1,0 +1,79 @@
+"""The Finder as an XRL target.
+
+    "There is also a special Finder protocol family permitting the Finder
+    to be addressable through XRLs, just as any other XORP component."
+    (paper §6.3)
+
+:class:`FinderTarget` wraps a :class:`~repro.xrl.finder.Finder` in an
+``finder/1.0`` XRL interface, so management tools can resolve XRLs, list
+targets, and inspect instances over ordinary IPC — including from
+scripts, via the textual form (the paper's resolution example:
+``finder://bgp/...`` → ``stcp://192.1.2.3:16878/...``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xrl.error import XrlError, XrlErrorCode
+from repro.xrl.finder import Finder
+from repro.xrl.idl import parse_idl
+from repro.xrl.router import XrlRouter
+from repro.xrl.xrl import Xrl
+
+FINDER_IDL = parse_idl("""
+interface finder/1.0 {
+    resolve_xrl ? xrl:txt -> resolved:txt;
+    get_target_list -> targets:txt;
+    get_class_instances ? class_name:txt -> instances:txt;
+    target_exists ? target:txt -> exists:bool;
+}
+""")["finder/1.0"]
+
+
+class FinderTarget:
+    """Binds the finder/1.0 interface onto a router for *finder*."""
+
+    def __init__(self, finder: Finder, router: XrlRouter):
+        self.finder = finder
+        self.router = router
+        router.bind(FINDER_IDL, self)
+
+    # -- finder/1.0 ---------------------------------------------------------
+    def xrl_resolve_xrl(self, xrl: str) -> dict:
+        """Resolve textual XRL to its concrete transport form(s)."""
+        generic = Xrl.from_text(xrl)
+        resolved_method, candidates, __ = self.finder.resolve(
+            self.router, generic.target, generic.method_path)
+        forms = []
+        for family, address in candidates:
+            arg_text = generic.args.to_text()
+            base = f"{family}://{address}/{resolved_method}"
+            forms.append(f"{base}?{arg_text}" if arg_text else base)
+        if not forms:
+            raise XrlError(
+                XrlErrorCode.RESOLVE_FAILED,
+                f"no transport addresses registered for {generic.target!r}",
+            )
+        return {"resolved": "\n".join(forms)}
+
+    def xrl_get_target_list(self) -> dict:
+        classes = sorted(self.finder._classes)
+        return {"targets": ",".join(classes)}
+
+    def xrl_get_class_instances(self, class_name: str) -> dict:
+        instances = self.finder.class_instances(class_name)
+        return {"instances": ",".join(instances)}
+
+    def xrl_target_exists(self, target: str) -> dict:
+        return {"exists": self.finder.known_target(target)}
+
+
+def bind_finder_target(host) -> FinderTarget:
+    """Expose *host*'s Finder as the XRL target class ``finder``.
+
+    Creates a dedicated process-less router owned by the host.
+    """
+    router = XrlRouter(host.loop, "finder", host.finder,
+                       families=list(host.families))
+    return FinderTarget(host.finder, router)

@@ -1,0 +1,83 @@
+"""XRL intermediaries — the paper's §7 future-work item, implemented.
+
+    "We can envisage taking this approach even further, and restricting
+    the range of arguments that a process can use for a particular XRL
+    method.  This would require an XRL intermediary, but the flexibility
+    of our XRL resolution mechanism makes installing such an XRL proxy
+    rather simple."
+
+:class:`XrlProxy` registers an interface under its own target name,
+validates each call's arguments against per-method constraints, and
+forwards acceptable calls to the real backend target.  Because the Finder
+ACLs can restrict a sandboxed process to resolving only the proxy's
+target (not the backend's), the proxy becomes the *only* path to the
+backend — argument-level sandboxing on top of §7's method-level ACLs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.xrl.args import XrlArgs
+from repro.xrl.error import XrlError, XrlErrorCode
+from repro.xrl.idl import XrlInterface
+from repro.xrl.router import DeferredReply, XrlRouter
+from repro.xrl.xrl import Xrl
+
+#: returns None to accept, or a human-readable refusal note
+Constraint = Callable[[Dict[str, Any]], Optional[str]]
+
+
+class XrlProxy:
+    """Forwarding intermediary with per-method argument constraints."""
+
+    def __init__(self, router: XrlRouter, interface: XrlInterface,
+                 backend_target: str,
+                 constraints: Optional[Dict[str, Constraint]] = None):
+        self.router = router
+        self.interface = interface
+        self.backend_target = backend_target
+        self.constraints: Dict[str, Constraint] = dict(constraints or {})
+        self.forwarded = 0
+        self.refused = 0
+        for method in interface.methods.values():
+            router.register_method(interface, method,
+                                   self._make_handler(method.name))
+
+    def set_constraint(self, method_name: str, constraint: Constraint) -> None:
+        if method_name not in self.interface.methods:
+            raise XrlError(
+                XrlErrorCode.NO_SUCH_METHOD,
+                f"{self.interface.fullname} has no {method_name!r}",
+            )
+        self.constraints[method_name] = constraint
+
+    def _make_handler(self, method_name: str) -> Callable:
+        method = self.interface.method(method_name)
+
+        def handler(**kwargs: Any):
+            constraint = self.constraints.get(method_name)
+            if constraint is not None:
+                refusal = constraint(kwargs)
+                if refusal is not None:
+                    self.refused += 1
+                    raise XrlError(
+                        XrlErrorCode.ACCESS_DENIED,
+                        f"proxy refused {method_name}: {refusal}",
+                    )
+            self.forwarded += 1
+            deferred = DeferredReply()
+            xrl = Xrl(self.backend_target, self.interface.name,
+                      self.interface.version, method_name,
+                      method.build_args(kwargs))
+
+            def completion(error: XrlError, result: XrlArgs) -> None:
+                if error.is_okay:
+                    deferred.reply(result)
+                else:
+                    deferred.fail(error)
+
+            self.router.send(xrl, completion)
+            return deferred
+
+        return handler

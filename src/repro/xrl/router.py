@@ -1,0 +1,348 @@
+"""XrlRouter: the per-component XRL dispatch point.
+
+Every component (a routing protocol, the RIB, the FEA...) owns one
+:class:`XrlRouter`.  Outbound, it resolves generic XRLs through the Finder
+(with caching), picks the best mutually-supported protocol family, and
+dispatches asynchronously.  Inbound, it verifies the Finder-issued access
+key, checks argument signatures against the IDL, and calls the registered
+handler.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.eventloop import EventLoop
+from repro.xrl.args import XrlArgs
+from repro.xrl.error import XrlError, XrlErrorCode
+from repro.xrl.finder import Finder
+from repro.xrl.idl import XrlInterface, XrlMethod
+from repro.xrl.transport.base import (
+    ProtocolFamily,
+    Sender,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+#: callback signature for XRL completion: (error, return_args)
+ResponseCallback = Callable[[XrlError, XrlArgs], None]
+
+_token_counter = itertools.count(1)
+
+
+class DeferredReply:
+    """Returned by a handler that will answer later (async dispatch).
+
+    The handler keeps the object and eventually calls :meth:`reply` or
+    :meth:`fail`; the transport-level response is sent at that moment.
+    This is what makes XRL *intermediaries* possible — paper §7: "This
+    would require an XRL intermediary, but the flexibility of our XRL
+    resolution mechanism makes installing such an XRL proxy rather
+    simple."
+    """
+
+    __slots__ = ("_respond", "_method", "_seq", "completed")
+
+    def __init__(self) -> None:
+        self._respond: Optional[Callable[[bytes], None]] = None
+        self._method = None
+        self._seq = 0
+        self.completed = False
+
+    def _bind(self, respond: Callable[[bytes], None], seq: int,
+              method) -> None:
+        self._respond = respond
+        self._method = method
+        self._seq = seq
+
+    def reply(self, values=None) -> None:
+        """Complete successfully with the method's return values."""
+        if self.completed:
+            return
+        self.completed = True
+        try:
+            if self._method is not None:
+                returns = (values if isinstance(values, XrlArgs)
+                           else self._method.build_returns(values))
+                self._method.check_returns(returns)
+            else:
+                returns = values if isinstance(values, XrlArgs) else XrlArgs()
+        except XrlError as error:
+            self._respond(encode_response(self._seq, error, XrlArgs()))
+            return
+        self._respond(encode_response(self._seq, XrlError.okay(), returns))
+
+    def fail(self, error: XrlError) -> None:
+        if self.completed:
+            return
+        self.completed = True
+        self._respond(encode_response(self._seq, error, XrlArgs()))
+
+
+def new_process_token() -> int:
+    """A fresh token identifying one conceptual OS process."""
+    return next(_token_counter)
+
+
+class _CacheEntry:
+    __slots__ = ("resolved_method", "sender", "family_name")
+
+    def __init__(self, resolved_method: str, sender: Sender, family_name: str):
+        self.resolved_method = resolved_method
+        self.sender = sender
+        self.family_name = family_name
+
+
+class XrlRouter:
+    """One component's sending and receiving endpoint."""
+
+    def __init__(self, loop: EventLoop, class_name: str, finder: Finder, *,
+                 instance_name: Optional[str] = None,
+                 singleton: bool = False,
+                 families: Optional[List[ProtocolFamily]] = None,
+                 process_token: Optional[int] = None):
+        self.loop = loop
+        self.class_name = class_name
+        self.finder = finder
+        self.process_token = (
+            process_token if process_token is not None else new_process_token()
+        )
+        self._families: Dict[str, ProtocolFamily] = {}
+        self._addresses: Dict[str, str] = {}
+        for family in families or []:
+            if family.name in self._families:
+                raise XrlError(
+                    XrlErrorCode.INTERNAL_ERROR,
+                    f"duplicate protocol family {family.name!r}",
+                )
+            self._families[family.name] = family
+            self._addresses[family.name] = family.listen(self)
+        self.instance_name, self._key, self._secret = finder.register_component(
+            class_name,
+            instance_name=instance_name,
+            singleton=singleton,
+            addresses=self._addresses,
+        )
+        self._handlers: Dict[str, Tuple[Optional[XrlMethod], Callable]] = {}
+        self._cache: Dict[Tuple[str, str], _CacheEntry] = {}
+        self._seq = itertools.count(1)
+        self._alive = True
+
+    # -- handler registration ---------------------------------------------
+    def register_method(self, interface: XrlInterface, method: XrlMethod,
+                        handler: Callable) -> None:
+        """Register a typed handler for one IDL method."""
+        path = f"{interface.name}/{interface.version}/{method.name}"
+        self._handlers[path] = (method, handler)
+        self.finder.add_methods(self.instance_name, self._secret, [path])
+
+    def register_raw_method(self, method_path: str,
+                            handler: Callable[[XrlArgs], Any]) -> None:
+        """Register an unchecked handler taking raw :class:`XrlArgs`."""
+        self._handlers[method_path] = (None, handler)
+        self.finder.add_methods(self.instance_name, self._secret, [method_path])
+
+    def bind(self, interface: XrlInterface, impl: Any) -> None:
+        """Bind every method of *interface* to *impl* (see IDL docs)."""
+        interface.bind(self, impl)
+
+    # -- sending -------------------------------------------------------------
+    def send(self, xrl, callback: Optional[ResponseCallback] = None) -> None:
+        """Dispatch *xrl* asynchronously.
+
+        *callback(error, args)* runs from the event loop when the response
+        arrives (or resolution/transport fails).  Errors never raise into
+        the caller — event-driven code deals with them in the callback.
+        """
+        if callback is None:
+            callback = _ignore_response
+        if not self._alive:
+            self.loop.call_soon(
+                callback, XrlError(XrlErrorCode.SEND_FAILED, "router shut down"),
+                XrlArgs(),
+            )
+            return
+        method_path = xrl.method_path
+        cache_key = (xrl.target, method_path)
+        entry = self._cache.get(cache_key)
+        if entry is None or not entry.sender.alive:
+            try:
+                entry = self._resolve_and_connect(xrl.target, method_path)
+            except XrlError as error:
+                self.loop.call_soon(callback, error, XrlArgs())
+                return
+            self._cache[cache_key] = entry
+        seq = next(self._seq)
+        request = encode_request(seq, entry.resolved_method, xrl.args)
+
+        def on_reply(frame: Optional[bytes]) -> None:
+            if frame is None:
+                callback(
+                    XrlError(XrlErrorCode.REPLY_TIMED_OUT, str(xrl)), XrlArgs()
+                )
+                return
+            try:
+                __, error, args = decode_response(frame)
+            except XrlError as decode_error:
+                callback(decode_error, XrlArgs())
+                return
+            callback(error, args)
+
+        try:
+            entry.sender.call(request, on_reply)
+        except XrlError as error:
+            self._cache.pop(cache_key, None)
+            self.loop.call_soon(callback, error, XrlArgs())
+
+    def _resolve_and_connect(self, target: str, method_path: str) -> _CacheEntry:
+        resolved_method, candidates, __ = self.finder.resolve(
+            self, target, method_path
+        )
+        usable: List[Tuple[int, str, str]] = []
+        for family_name, address in candidates:
+            family = self._families.get(family_name)
+            if family is None:
+                continue
+            reachable = getattr(family, "reachable", None)
+            if reachable is not None and not reachable(address, self):
+                continue
+            usable.append((family.preference, family_name, address))
+        if not usable:
+            raise XrlError(
+                XrlErrorCode.SEND_FAILED,
+                f"no mutually supported protocol family for target {target!r}",
+            )
+        usable.sort(reverse=True)
+        __, family_name, address = usable[0]
+        sender = self._families[family_name].connect(address, self)
+        return _CacheEntry(resolved_method, sender, family_name)
+
+    def send_sync(self, xrl, timeout: float = 30.0) -> Tuple[XrlError, XrlArgs]:
+        """Convenience: dispatch and run the loop until the reply arrives.
+
+        For scripts and tests; event-driven code uses :meth:`send`.
+        """
+        box: List[Tuple[XrlError, XrlArgs]] = []
+        self.send(xrl, lambda error, args: box.append((error, args)))
+        if not self.loop.run_until(lambda: bool(box), timeout=timeout):
+            return XrlError(XrlErrorCode.REPLY_TIMED_OUT, str(xrl)), XrlArgs()
+        return box[0]
+
+    def finder_cache_invalidate(self, target: str) -> None:
+        """Drop cached resolutions involving *target* (Finder callback)."""
+        for cache_key in [k for k in self._cache if k[0] == target]:
+            entry = self._cache.pop(cache_key)
+            entry.sender.close()
+
+    # -- receiving ------------------------------------------------------------
+    def dispatch_frame_async(self, frame: bytes,
+                             respond: Callable[[bytes], None]) -> None:
+        """Handle one encoded request; deliver the response via *respond*.
+
+        Handlers normally answer synchronously; a handler may instead
+        return a :class:`DeferredReply` and complete it later (the XRL
+        proxy / intermediary pattern, paper §7).
+        """
+        try:
+            seq, resolved_method, args = decode_request(frame)
+        except XrlError as error:
+            respond(encode_response(0, error, XrlArgs()))
+            return
+        key, __, method_path = resolved_method.partition("/")
+        if key != self._key:
+            respond(encode_response(
+                seq,
+                XrlError(XrlErrorCode.BAD_KEY,
+                         "method key does not match registration"),
+                XrlArgs(),
+            ))
+            return
+        handler_entry = self._handlers.get(method_path)
+        if handler_entry is None:
+            respond(encode_response(
+                seq,
+                XrlError(XrlErrorCode.NO_SUCH_METHOD, method_path),
+                XrlArgs(),
+            ))
+            return
+        method, handler = handler_entry
+        try:
+            if method is not None:
+                method.check_args(args)
+                kwargs = {name: args.atom(name).value for name, __ in method.params}
+                result = handler(**kwargs)
+                if isinstance(result, DeferredReply):
+                    result._bind(respond, seq, method)
+                    return
+                returns = (
+                    result if isinstance(result, XrlArgs)
+                    else method.build_returns(result)
+                )
+                method.check_returns(returns)
+            else:
+                result = handler(args)
+                if isinstance(result, DeferredReply):
+                    result._bind(respond, seq, None)
+                    return
+                if isinstance(result, XrlArgs):
+                    returns = result
+                elif result is None:
+                    returns = XrlArgs()
+                else:
+                    raise XrlError(
+                        XrlErrorCode.INTERNAL_ERROR,
+                        "raw handler must return XrlArgs or None",
+                    )
+        except XrlError as error:
+            respond(encode_response(seq, error, XrlArgs()))
+            return
+        except Exception as exc:  # noqa: BLE001 - handler bugs become errors
+            respond(encode_response(
+                seq,
+                XrlError(XrlErrorCode.COMMAND_FAILED,
+                         f"{type(exc).__name__}: {exc}"),
+                XrlArgs(),
+            ))
+            return
+        respond(encode_response(seq, XrlError.okay(), returns))
+
+    def dispatch_frame(self, frame: bytes) -> bytes:
+        """Synchronous dispatch convenience (tests, sync-only callers).
+
+        Raises if the handler deferred its reply — use
+        :meth:`dispatch_frame_async` wherever deferral is possible.
+        """
+        box: List[bytes] = []
+        self.dispatch_frame_async(frame, box.append)
+        if not box:
+            raise RuntimeError(
+                "handler deferred its reply; use dispatch_frame_async"
+            )
+        return box[0]
+
+    # -- lifecycle -------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def shutdown(self) -> None:
+        """Deregister from the Finder and release all transports."""
+        if not self._alive:
+            return
+        self._alive = False
+        for entry in self._cache.values():
+            entry.sender.close()
+        self._cache.clear()
+        for family_name, address in self._addresses.items():
+            self._families[family_name].unlisten(address)
+        self.finder.deregister_component(self.instance_name, self._secret)
+
+    def __repr__(self) -> str:
+        return f"<XrlRouter {self.instance_name}>"
+
+
+def _ignore_response(error: XrlError, args: XrlArgs) -> None:
+    """Default completion callback: drop the result."""

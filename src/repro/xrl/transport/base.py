@@ -1,0 +1,108 @@
+"""Protocol family base classes and the request/response wire codec.
+
+All families share one compact binary codec (the textual XRL form is for
+humans and scripts; "internally XRLs are encoded more efficiently"):
+
+* request:  ``!I seq  !H len(method)  method-utf8  args-binary``
+* response: ``!I seq  !I errcode  !H len(note)  note-utf8  args-binary``
+
+The *method* string on the wire is the **resolved** method name, i.e. the
+Finder-issued 16-byte access key followed by ``interface/version/method``
+(paper §7) — receivers reject requests whose key does not match.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Optional, Tuple
+
+from repro.xrl.args import XrlArgs
+from repro.xrl.error import XrlError, XrlErrorCode
+
+ReplyCallback = Callable[[bytes], None]
+
+
+def encode_request(seq: int, resolved_method: str, args: XrlArgs) -> bytes:
+    method_bytes = resolved_method.encode("utf-8")
+    return (
+        struct.pack("!IH", seq & 0xFFFFFFFF, len(method_bytes))
+        + method_bytes
+        + args.to_binary()
+    )
+
+
+def decode_request(data: bytes) -> Tuple[int, str, XrlArgs]:
+    try:
+        seq, method_len = struct.unpack_from("!IH", data, 0)
+        offset = 6
+        method = data[offset : offset + method_len].decode("utf-8")
+        offset += method_len
+        args = XrlArgs.from_binary(data, offset)
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise XrlError(XrlErrorCode.BAD_ARGS, f"corrupt request frame: {exc}") from exc
+    return seq, method, args
+
+
+def encode_response(seq: int, error: XrlError, args: Optional[XrlArgs]) -> bytes:
+    note_bytes = error.note.encode("utf-8")
+    body = (args if args is not None else XrlArgs()).to_binary()
+    return (
+        struct.pack("!IIH", seq & 0xFFFFFFFF, int(error.code), len(note_bytes))
+        + note_bytes
+        + body
+    )
+
+
+def decode_response(data: bytes) -> Tuple[int, XrlError, XrlArgs]:
+    try:
+        seq, code, note_len = struct.unpack_from("!IIH", data, 0)
+        offset = 10
+        note = data[offset : offset + note_len].decode("utf-8")
+        offset += note_len
+        args = XrlArgs.from_binary(data, offset)
+        error = XrlError(XrlErrorCode(code), note)
+    except (struct.error, ValueError, UnicodeDecodeError) as exc:
+        raise XrlError(
+            XrlErrorCode.BAD_ARGS, f"corrupt response frame: {exc}"
+        ) from exc
+    return seq, error, args
+
+
+class Sender:
+    """A connection to one remote listener address.
+
+    :meth:`call` transmits one encoded request and arranges for the raw
+    response frame to reach *reply_cb*.  Whether calls pipeline (multiple
+    outstanding) is a per-family property — the crux of the paper's
+    TCP-vs-UDP comparison in Figure 9.
+    """
+
+    def call(self, request: bytes, reply_cb: ReplyCallback) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+
+    @property
+    def alive(self) -> bool:
+        return True
+
+
+class ProtocolFamily:
+    """Factory for listeners and senders of one transport kind."""
+
+    #: family tag used in resolved XRLs (e.g. ``stcp``)
+    name: str = "?"
+    #: larger is preferred when several families can reach a target
+    preference: int = 0
+
+    def listen(self, router) -> str:
+        """Start receiving for *router*; return the listener address."""
+        raise NotImplementedError
+
+    def connect(self, address: str, router) -> Sender:
+        """Create (or reuse) a sender towards *address*."""
+        raise NotImplementedError
+
+    def unlisten(self, address: str) -> None:
+        """Stop receiving on *address* (idempotent)."""

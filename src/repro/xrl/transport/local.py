@@ -1,0 +1,59 @@
+"""Host-local protocol family: IPC between processes on one machine.
+
+XORP's processes talk over localhost TCP by default; this family models
+that host-local channel without socket overhead.  Unlike the intra-process
+family it crosses process boundaries — but it still marshals through the
+shared codec and still delivers asynchronously via the event loop, so the
+processes remain fully decoupled.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict
+
+from repro.xrl.error import XrlError, XrlErrorCode
+from repro.xrl.transport.base import ProtocolFamily, ReplyCallback, Sender
+
+
+class _HostLocalSender(Sender):
+    def __init__(self, family: "HostLocalFamily", address: str, router):
+        self._family = family
+        self._address = address
+        self._caller = router
+
+    def call(self, request: bytes, reply_cb: ReplyCallback) -> None:
+        target_router = self._family._listeners.get(self._address)
+        if target_router is None:
+            raise XrlError(
+                XrlErrorCode.SEND_FAILED, f"local target {self._address} is gone"
+            )
+        loop = self._caller.loop
+
+        def deliver() -> None:
+            target_router.dispatch_frame_async(
+                request, lambda response: loop.call_soon(reply_cb, response))
+
+        loop.call_soon(deliver)
+
+
+class HostLocalFamily(ProtocolFamily):
+    """One instance per host; shared by all of that host's processes."""
+
+    name = "unix"
+    preference = 18
+
+    def __init__(self) -> None:
+        self._listeners: Dict[str, object] = {}
+        self._ids = itertools.count(1)
+
+    def listen(self, router) -> str:
+        address = f"hostlocal-{next(self._ids)}"
+        self._listeners[address] = router
+        return address
+
+    def connect(self, address: str, router) -> Sender:
+        return _HostLocalSender(self, address, router)
+
+    def unlisten(self, address: str) -> None:
+        self._listeners.pop(address, None)

@@ -1,0 +1,251 @@
+"""TCP protocol family — XORP's default transport, with pipelining.
+
+Frames are length-prefixed (``!I`` byte count).  A sender may have many
+requests outstanding; responses carry the request sequence number, so
+replies are matched even if a future implementation reorders them.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Callable, Dict, Optional
+
+from repro.xrl.error import XrlError, XrlErrorCode
+from repro.xrl.transport.base import ProtocolFamily, ReplyCallback, Sender
+
+
+class _FrameBuffer:
+    """Incremental length-prefixed frame reassembly."""
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+
+    def feed(self, chunk: bytes) -> list:
+        self._data.extend(chunk)
+        frames = []
+        while True:
+            if len(self._data) < 4:
+                break
+            (length,) = struct.unpack_from("!I", self._data, 0)
+            if len(self._data) < 4 + length:
+                break
+            frames.append(bytes(self._data[4 : 4 + length]))
+            del self._data[: 4 + length]
+        return frames
+
+
+def _frame(payload: bytes) -> bytes:
+    return struct.pack("!I", len(payload)) + payload
+
+
+class _TcpConnection:
+    """One accepted server-side connection."""
+
+    def __init__(self, family: "TcpFamily", sock: socket.socket, router):
+        self._family = family
+        self._sock = sock
+        self._router = router
+        self._buffer = _FrameBuffer()
+        self._out = bytearray()
+        self._writing = False
+        self._loop = router.loop
+        sock.setblocking(False)
+        self._loop.add_reader(sock, self._on_readable)
+
+    def _on_readable(self) -> None:
+        try:
+            chunk = self._sock.recv(65536)
+        except BlockingIOError:
+            return
+        except OSError:
+            self.close()
+            return
+        if not chunk:
+            self.close()
+            return
+        for request in self._buffer.feed(chunk):
+            self._router.dispatch_frame_async(
+                request, lambda response: self._send(_frame(response)))
+
+    def _send(self, data: bytes) -> None:
+        self._out.extend(data)
+        self._flush()
+
+    def _flush(self) -> None:
+        while self._out:
+            try:
+                sent = self._sock.send(self._out)
+            except BlockingIOError:
+                if not self._writing:
+                    self._writing = True
+                    self._loop.add_writer(self._sock, self._on_writable)
+                return
+            except OSError:
+                self.close()
+                return
+            del self._out[:sent]
+        if self._writing:
+            self._writing = False
+            self._loop.remove_writer(self._sock)
+
+    def _on_writable(self) -> None:
+        self._flush()
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        self._loop.remove_reader(self._sock)
+        if self._writing:
+            self._loop.remove_writer(self._sock)
+        try:
+            self._sock.close()
+        finally:
+            self._sock = None
+
+
+class _TcpListener:
+    def __init__(self, family: "TcpFamily", router):
+        self._family = family
+        self._router = router
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(64)
+        sock.setblocking(False)
+        self._sock = sock
+        self.address = "{}:{}".format(*sock.getsockname())
+        self._connections = []
+        router.loop.add_reader(sock, self._on_accept)
+
+    def _on_accept(self) -> None:
+        while True:
+            try:
+                conn, __ = self._sock.accept()
+            except BlockingIOError:
+                return
+            except OSError:
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._connections.append(_TcpConnection(self._family, conn, self._router))
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        self._router.loop.remove_reader(self._sock)
+        for conn in self._connections:
+            conn.close()
+        try:
+            self._sock.close()
+        finally:
+            self._sock = None
+
+
+class _TcpSender(Sender):
+    """Client side: pipelined requests over one connection."""
+
+    def __init__(self, address: str, router):
+        host, __, port_text = address.rpartition(":")
+        self._loop = router.loop
+        self._pending: Dict[int, ReplyCallback] = {}
+        self._seq = 0
+        self._buffer = _FrameBuffer()
+        self._out = bytearray()
+        self._writing = False
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.connect((host, int(port_text)))
+        except OSError as exc:
+            sock.close()
+            raise XrlError(
+                XrlErrorCode.SEND_FAILED, f"tcp connect to {address} failed: {exc}"
+            ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.setblocking(False)
+        self._sock: Optional[socket.socket] = sock
+        self._loop.add_reader(sock, self._on_readable)
+
+    @property
+    def alive(self) -> bool:
+        return self._sock is not None
+
+    def call(self, request: bytes, reply_cb: ReplyCallback) -> None:
+        if self._sock is None:
+            raise XrlError(XrlErrorCode.SEND_FAILED, "tcp sender is closed")
+        # The frame already carries a sequence number assigned by the
+        # router; we track it for reply matching without re-parsing.
+        (seq,) = struct.unpack_from("!I", request, 0)
+        self._pending[seq] = reply_cb
+        self._out.extend(_frame(request))
+        self._flush()
+
+    def _flush(self) -> None:
+        if self._sock is None:
+            return
+        while self._out:
+            try:
+                sent = self._sock.send(self._out)
+            except BlockingIOError:
+                if not self._writing:
+                    self._writing = True
+                    self._loop.add_writer(self._sock, self._flush_writable)
+                return
+            except OSError:
+                self.close()
+                return
+            del self._out[:sent]
+        if self._writing:
+            self._writing = False
+            self._loop.remove_writer(self._sock)
+
+    def _flush_writable(self) -> None:
+        self._flush()
+
+    def _on_readable(self) -> None:
+        try:
+            chunk = self._sock.recv(65536)
+        except BlockingIOError:
+            return
+        except OSError:
+            self.close()
+            return
+        if not chunk:
+            self.close()
+            return
+        for response in self._buffer.feed(chunk):
+            (seq,) = struct.unpack_from("!I", response, 0)
+            reply_cb = self._pending.pop(seq, None)
+            if reply_cb is not None:
+                reply_cb(response)
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        self._loop.remove_reader(self._sock)
+        if self._writing:
+            self._loop.remove_writer(self._sock)
+        try:
+            self._sock.close()
+        finally:
+            self._sock = None
+
+
+class TcpFamily(ProtocolFamily):
+    name = "stcp"
+    preference = 20
+
+    def __init__(self) -> None:
+        self._listeners: Dict[str, _TcpListener] = {}
+
+    def listen(self, router) -> str:
+        listener = _TcpListener(self, router)
+        self._listeners[listener.address] = listener
+        return listener.address
+
+    def connect(self, address: str, router) -> Sender:
+        return _TcpSender(address, router)
+
+    def unlisten(self, address: str) -> None:
+        listener = self._listeners.pop(address, None)
+        if listener is not None:
+            listener.close()

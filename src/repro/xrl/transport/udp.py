@@ -1,0 +1,162 @@
+"""UDP protocol family — deliberately unpipelined.
+
+The paper keeps UDP around "primarily to illustrate the effect of request
+pipelining, even when operating locally": XORP's first XRL prototype sent
+one request and waited for its response before sending the next.  This
+implementation preserves that behaviour — :meth:`call` queues requests and
+keeps exactly one outstanding — which is what produces UDP's flat, low
+curve in Figure 9.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.xrl.error import XrlError, XrlErrorCode
+from repro.xrl.transport.base import ProtocolFamily, ReplyCallback, Sender
+
+_MAX_DGRAM = 65000
+
+
+class _UdpListener:
+    def __init__(self, family: "UdpFamily", router):
+        self._router = router
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.bind(("127.0.0.1", 0))
+        sock.setblocking(False)
+        self._sock = sock
+        self.address = "{}:{}".format(*sock.getsockname())
+        router.loop.add_reader(sock, self._on_readable)
+
+    def _on_readable(self) -> None:
+        while True:
+            try:
+                request, peer = self._sock.recvfrom(_MAX_DGRAM)
+            except BlockingIOError:
+                return
+            except OSError:
+                return
+            def respond(response: bytes, peer=peer) -> None:
+                try:
+                    self._sock.sendto(response, peer)
+                except OSError:
+                    pass  # client vanished; it will time out
+
+            self._router.dispatch_frame_async(request, respond)
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        self._router.loop.remove_reader(self._sock)
+        try:
+            self._sock.close()
+        finally:
+            self._sock = None
+
+
+class _UdpSender(Sender):
+    """Stop-and-wait: one request in flight at any moment."""
+
+    REPLY_TIMEOUT = 5.0
+
+    def __init__(self, address: str, router):
+        host, __, port_text = address.rpartition(":")
+        self._peer = (host, int(port_text))
+        self._loop = router.loop
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.setblocking(False)
+        sock.connect(self._peer)
+        self._sock: Optional[socket.socket] = sock
+        self._queue: Deque[Tuple[bytes, ReplyCallback]] = deque()
+        self._inflight: Optional[Tuple[int, ReplyCallback]] = None
+        self._timeout_timer = None
+        self._loop.add_reader(sock, self._on_readable)
+
+    @property
+    def alive(self) -> bool:
+        return self._sock is not None
+
+    def call(self, request: bytes, reply_cb: ReplyCallback) -> None:
+        if self._sock is None:
+            raise XrlError(XrlErrorCode.SEND_FAILED, "udp sender is closed")
+        self._queue.append((request, reply_cb))
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._inflight is not None or not self._queue:
+            return
+        request, reply_cb = self._queue.popleft()
+        (seq,) = struct.unpack_from("!I", request, 0)
+        self._inflight = (seq, reply_cb)
+        try:
+            self._sock.send(request)
+        except OSError as exc:
+            self._inflight = None
+            raise XrlError(XrlErrorCode.SEND_FAILED, f"udp send failed: {exc}") from exc
+        self._timeout_timer = self._loop.call_later(
+            self.REPLY_TIMEOUT, self._on_timeout, name="udp-xrl-timeout"
+        )
+
+    def _on_timeout(self) -> None:
+        inflight = self._inflight
+        self._inflight = None
+        if inflight is not None:
+            __, reply_cb = inflight
+            reply_cb(None)  # router layer turns None into REPLY_TIMED_OUT
+        self._pump()
+
+    def _on_readable(self) -> None:
+        while True:
+            try:
+                response = self._sock.recv(_MAX_DGRAM)
+            except BlockingIOError:
+                return
+            except OSError:
+                return
+            if self._inflight is None:
+                continue  # stale duplicate
+            (seq,) = struct.unpack_from("!I", response, 0)
+            want_seq, reply_cb = self._inflight
+            if seq != want_seq:
+                continue
+            self._inflight = None
+            if self._timeout_timer is not None:
+                self._timeout_timer.cancel()
+                self._timeout_timer = None
+            reply_cb(response)
+            self._pump()
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        self._loop.remove_reader(self._sock)
+        if self._timeout_timer is not None:
+            self._timeout_timer.cancel()
+        try:
+            self._sock.close()
+        finally:
+            self._sock = None
+
+
+class UdpFamily(ProtocolFamily):
+    name = "sudp"
+    preference = 10
+
+    def __init__(self) -> None:
+        self._listeners: Dict[str, _UdpListener] = {}
+
+    def listen(self, router) -> str:
+        listener = _UdpListener(self, router)
+        self._listeners[listener.address] = listener
+        return listener.address
+
+    def connect(self, address: str, router) -> Sender:
+        return _UdpSender(address, router)
+
+    def unlisten(self, address: str) -> None:
+        listener = self._listeners.pop(address, None)
+        if listener is not None:
+            listener.close()

@@ -1,0 +1,311 @@
+"""XRL atom types and their marshaling.
+
+    "XRL arguments ... are restricted to a set of core types used
+    throughout XORP, including network addresses, numbers, strings,
+    booleans, binary arrays, and lists of these primitives."  (paper §6.1)
+
+Each argument is an :class:`XrlAtom` — a ``name:type=value`` triple.  Two
+encodings are implemented:
+
+* **textual** — the canonical, human-readable, scriptable form used in XRL
+  strings and by ``call_xrl``;
+* **binary** — the compact form the TCP/UDP protocol families put on the
+  wire ("Internally XRLs are encoded more efficiently").
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import Enum
+from typing import Any, List, Tuple
+
+from repro.net import IPNet, IPv4, IPv6, Mac
+from repro.xrl.error import XrlError, XrlErrorCode
+
+
+class XrlAtomType(str, Enum):
+    """Core XRL atom types and their textual tags."""
+
+    I32 = "i32"
+    U32 = "u32"
+    I64 = "i64"
+    U64 = "u64"
+    TXT = "txt"
+    BOOL = "bool"
+    IPV4 = "ipv4"
+    IPV6 = "ipv6"
+    IPV4NET = "ipv4net"
+    IPV6NET = "ipv6net"
+    MAC = "mac"
+    BINARY = "binary"
+    LIST = "list"
+
+
+_INT_RANGES = {
+    XrlAtomType.I32: (-(1 << 31), (1 << 31) - 1),
+    XrlAtomType.U32: (0, (1 << 32) - 1),
+    XrlAtomType.I64: (-(1 << 63), (1 << 63) - 1),
+    XrlAtomType.U64: (0, (1 << 64) - 1),
+}
+
+# Characters with structural meaning in XRL text; %-escaped in values.
+_ESCAPE_CHARS = "%&=?/:,\n "
+
+
+def escape_text(value: str) -> str:
+    """Percent-escape XRL-structural characters in *value*."""
+    out: List[str] = []
+    for ch in value:
+        if ch in _ESCAPE_CHARS or ord(ch) < 0x20:
+            for byte in ch.encode("utf-8"):
+                out.append(f"%{byte:02X}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def unescape_text(value: str) -> str:
+    """Inverse of :func:`escape_text`."""
+    out = bytearray()
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "%":
+            if i + 3 > len(value):
+                raise XrlError(XrlErrorCode.BAD_ARGS, f"truncated escape in {value!r}")
+            try:
+                out.append(int(value[i + 1 : i + 3], 16))
+            except ValueError as exc:
+                raise XrlError(
+                    XrlErrorCode.BAD_ARGS, f"bad escape in {value!r}"
+                ) from exc
+            i += 3
+        else:
+            out.extend(ch.encode("utf-8"))
+            i += 1
+    return out.decode("utf-8")
+
+
+def _validate(atom_type: XrlAtomType, value: Any) -> Any:
+    """Coerce and range-check *value* for *atom_type*; raise BAD_ARGS."""
+    try:
+        if atom_type in _INT_RANGES:
+            value = int(value)
+            lo, hi = _INT_RANGES[atom_type]
+            if not lo <= value <= hi:
+                raise ValueError(f"{value} outside [{lo}, {hi}]")
+            return value
+        if atom_type == XrlAtomType.TXT:
+            if not isinstance(value, str):
+                raise ValueError(f"txt atom needs str, got {type(value).__name__}")
+            return value
+        if atom_type == XrlAtomType.BOOL:
+            if isinstance(value, str):
+                lowered = value.lower()
+                if lowered in ("true", "1"):
+                    return True
+                if lowered in ("false", "0"):
+                    return False
+                raise ValueError(f"bad bool text {value!r}")
+            return bool(value)
+        if atom_type == XrlAtomType.IPV4:
+            return value if isinstance(value, IPv4) else IPv4(value)
+        if atom_type == XrlAtomType.IPV6:
+            return value if isinstance(value, IPv6) else IPv6(value)
+        if atom_type in (XrlAtomType.IPV4NET, XrlAtomType.IPV6NET):
+            net = value if isinstance(value, IPNet) else IPNet.parse(value)
+            want_v4 = atom_type == XrlAtomType.IPV4NET
+            if net.is_ipv4() != want_v4:
+                raise ValueError(f"{net} is the wrong family for {atom_type.value}")
+            return net
+        if atom_type == XrlAtomType.MAC:
+            return value if isinstance(value, Mac) else Mac(value)
+        if atom_type == XrlAtomType.BINARY:
+            if isinstance(value, str):
+                return bytes.fromhex(value)
+            return bytes(value)
+        if atom_type == XrlAtomType.LIST:
+            if not isinstance(value, (list, tuple)):
+                raise ValueError("list atom needs a list of XrlAtom")
+            items = list(value)
+            for item in items:
+                if not isinstance(item, XrlAtom):
+                    raise ValueError("list elements must be XrlAtom")
+            return items
+    except XrlError:
+        raise
+    except Exception as exc:
+        raise XrlError(
+            XrlErrorCode.BAD_ARGS,
+            f"bad value {value!r} for type {atom_type.value}: {exc}",
+        ) from exc
+    raise XrlError(XrlErrorCode.BAD_ARGS, f"unknown atom type {atom_type!r}")
+
+
+class XrlAtom:
+    """One named, typed XRL argument."""
+
+    __slots__ = ("name", "type", "value")
+
+    def __init__(self, name: str, atom_type: XrlAtomType, value: Any):
+        if not name or any(c in _ESCAPE_CHARS for c in name):
+            raise XrlError(XrlErrorCode.BAD_ARGS, f"bad atom name {name!r}")
+        self.name = name
+        self.type = XrlAtomType(atom_type)
+        self.value = _validate(self.type, value)
+
+    # -- textual form -----------------------------------------------------
+    def to_text(self) -> str:
+        """Render as ``name:type=value`` (canonical XRL text)."""
+        return f"{self.name}:{self.type.value}={self._value_text()}"
+
+    def _value_text(self) -> str:
+        if self.type == XrlAtomType.BOOL:
+            return "true" if self.value else "false"
+        if self.type == XrlAtomType.BINARY:
+            return self.value.hex()
+        if self.type == XrlAtomType.LIST:
+            return ",".join(escape_text(a.to_text()) for a in self.value)
+        return escape_text(str(self.value))
+
+    @classmethod
+    def from_text(cls, text: str) -> "XrlAtom":
+        """Parse ``name:type=value`` text."""
+        head, eq, raw_value = text.partition("=")
+        if not eq:
+            raise XrlError(XrlErrorCode.BAD_ARGS, f"atom missing '=': {text!r}")
+        name, colon, type_tag = head.partition(":")
+        if not colon:
+            raise XrlError(XrlErrorCode.BAD_ARGS, f"atom missing ':type': {text!r}")
+        try:
+            atom_type = XrlAtomType(type_tag)
+        except ValueError as exc:
+            raise XrlError(
+                XrlErrorCode.BAD_ARGS, f"unknown atom type {type_tag!r}"
+            ) from exc
+        if atom_type == XrlAtomType.LIST:
+            items = []
+            if raw_value:
+                for chunk in raw_value.split(","):
+                    items.append(cls.from_text(unescape_text(chunk)))
+            return cls(name, atom_type, items)
+        return cls(name, atom_type, unescape_text(raw_value))
+
+    # -- binary form --------------------------------------------------------
+    def to_binary(self) -> bytes:
+        """Compact wire encoding (type tag + name + payload)."""
+        name_bytes = self.name.encode("utf-8")
+        header = struct.pack("!BB", _TYPE_CODES[self.type], len(name_bytes))
+        return header + name_bytes + self._payload_binary()
+
+    def _payload_binary(self) -> bytes:
+        t = self.type
+        if t == XrlAtomType.I32:
+            return struct.pack("!i", self.value)
+        if t == XrlAtomType.U32:
+            return struct.pack("!I", self.value)
+        if t == XrlAtomType.I64:
+            return struct.pack("!q", self.value)
+        if t == XrlAtomType.U64:
+            return struct.pack("!Q", self.value)
+        if t == XrlAtomType.BOOL:
+            return b"\x01" if self.value else b"\x00"
+        if t == XrlAtomType.TXT:
+            data = self.value.encode("utf-8")
+            return struct.pack("!I", len(data)) + data
+        if t == XrlAtomType.IPV4:
+            return self.value.to_bytes()
+        if t == XrlAtomType.IPV6:
+            return self.value.to_bytes()
+        if t == XrlAtomType.IPV4NET:
+            return self.value.network.to_bytes() + bytes([self.value.prefix_len])
+        if t == XrlAtomType.IPV6NET:
+            return self.value.network.to_bytes() + bytes([self.value.prefix_len])
+        if t == XrlAtomType.MAC:
+            return self.value.to_bytes()
+        if t == XrlAtomType.BINARY:
+            return struct.pack("!I", len(self.value)) + self.value
+        if t == XrlAtomType.LIST:
+            parts = [struct.pack("!I", len(self.value))]
+            parts.extend(a.to_binary() for a in self.value)
+            return b"".join(parts)
+        raise XrlError(XrlErrorCode.INTERNAL_ERROR, f"unencodable type {t}")
+
+    @classmethod
+    def from_binary(cls, data: bytes, offset: int = 0) -> Tuple["XrlAtom", int]:
+        """Decode one atom at *offset*; return ``(atom, next_offset)``."""
+        from repro.net import AddressError
+
+        try:
+            type_code, name_len = struct.unpack_from("!BB", data, offset)
+            offset += 2
+            name = data[offset : offset + name_len].decode("utf-8")
+            offset += name_len
+            atom_type = _CODE_TYPES[type_code]
+            value, offset = cls._payload_from_binary(atom_type, data, offset)
+        except (struct.error, KeyError, IndexError, UnicodeDecodeError,
+                AddressError) as exc:
+            raise XrlError(
+                XrlErrorCode.BAD_ARGS, f"truncated or corrupt atom: {exc}"
+            ) from exc
+        return cls(name, atom_type, value), offset
+
+    @staticmethod
+    def _payload_from_binary(atom_type: XrlAtomType, data: bytes,
+                             offset: int) -> Tuple[Any, int]:
+        t = atom_type
+        if t == XrlAtomType.I32:
+            return struct.unpack_from("!i", data, offset)[0], offset + 4
+        if t == XrlAtomType.U32:
+            return struct.unpack_from("!I", data, offset)[0], offset + 4
+        if t == XrlAtomType.I64:
+            return struct.unpack_from("!q", data, offset)[0], offset + 8
+        if t == XrlAtomType.U64:
+            return struct.unpack_from("!Q", data, offset)[0], offset + 8
+        if t == XrlAtomType.BOOL:
+            return data[offset] != 0, offset + 1
+        if t == XrlAtomType.TXT:
+            (length,) = struct.unpack_from("!I", data, offset)
+            offset += 4
+            return data[offset : offset + length].decode("utf-8"), offset + length
+        if t == XrlAtomType.IPV4:
+            return IPv4(data[offset : offset + 4]), offset + 4
+        if t == XrlAtomType.IPV6:
+            return IPv6(data[offset : offset + 16]), offset + 16
+        if t == XrlAtomType.IPV4NET:
+            addr = IPv4(data[offset : offset + 4])
+            return IPNet(addr, data[offset + 4]), offset + 5
+        if t == XrlAtomType.IPV6NET:
+            addr = IPv6(data[offset : offset + 16])
+            return IPNet(addr, data[offset + 16]), offset + 17
+        if t == XrlAtomType.MAC:
+            return Mac(data[offset : offset + 6]), offset + 6
+        if t == XrlAtomType.BINARY:
+            (length,) = struct.unpack_from("!I", data, offset)
+            offset += 4
+            return bytes(data[offset : offset + length]), offset + length
+        if t == XrlAtomType.LIST:
+            (count,) = struct.unpack_from("!I", data, offset)
+            offset += 4
+            items = []
+            for __ in range(count):
+                atom, offset = XrlAtom.from_binary(data, offset)
+                items.append(atom)
+            return items, offset
+        raise XrlError(XrlErrorCode.BAD_ARGS, f"undecodable type {t}")
+
+    # -- dunder -----------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, XrlAtom)
+            and self.name == other.name
+            and self.type == other.type
+            and self.value == other.value
+        )
+
+    def __repr__(self) -> str:
+        return f"XrlAtom({self.to_text()!r})"
+
+
+_TYPE_CODES = {t: i for i, t in enumerate(XrlAtomType, start=1)}
+_CODE_TYPES = {i: t for t, i in _TYPE_CODES.items()}

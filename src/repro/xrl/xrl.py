@@ -1,0 +1,89 @@
+"""The Xrl object: a method call naming a component, interface and method.
+
+Canonical textual form (paper §6.1)::
+
+    finder://bgp/bgp/1.0/set_local_as?as:u32=1777
+
+``finder`` is the protocol slot before resolution; after Finder resolution
+the slot holds a concrete protocol family and address, e.g.::
+
+    stcp://192.1.2.3:16878/bgp/1.0/set_local_as?as:u32=1777
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xrl.args import XrlArgs
+from repro.xrl.error import XrlError, XrlErrorCode
+
+FINDER_PROTOCOL = "finder"
+
+
+class Xrl:
+    """One XRL: protocol, target (component), interface, version, method, args."""
+
+    __slots__ = ("protocol", "target", "interface", "version", "method", "args")
+
+    def __init__(self, target: str, interface: str, version: str, method: str,
+                 args: Optional[XrlArgs] = None, *,
+                 protocol: str = FINDER_PROTOCOL):
+        for field, value in (("target", target), ("interface", interface),
+                             ("version", version), ("method", method)):
+            if not value or "/" in value or "?" in value:
+                raise XrlError(
+                    XrlErrorCode.BAD_ARGS, f"bad XRL {field}: {value!r}"
+                )
+        self.protocol = protocol
+        self.target = target
+        self.interface = interface
+        self.version = version
+        self.method = method
+        self.args = args if args is not None else XrlArgs()
+
+    @property
+    def method_path(self) -> str:
+        """``interface/version/method`` — the Finder's registration key."""
+        return f"{self.interface}/{self.version}/{self.method}"
+
+    @property
+    def is_resolved(self) -> bool:
+        return self.protocol != FINDER_PROTOCOL
+
+    def to_text(self) -> str:
+        base = (
+            f"{self.protocol}://{self.target}/"
+            f"{self.interface}/{self.version}/{self.method}"
+        )
+        arg_text = self.args.to_text()
+        return f"{base}?{arg_text}" if arg_text else base
+
+    @classmethod
+    def from_text(cls, text: str) -> "Xrl":
+        """Parse canonical XRL text (used by ``call_xrl`` scripting)."""
+        protocol, sep, rest = text.partition("://")
+        if not sep:
+            raise XrlError(XrlErrorCode.BAD_ARGS, f"XRL missing '://': {text!r}")
+        path, __, arg_text = rest.partition("?")
+        pieces = path.split("/")
+        if len(pieces) != 4:
+            raise XrlError(
+                XrlErrorCode.BAD_ARGS,
+                f"XRL path needs target/interface/version/method: {text!r}",
+            )
+        target, interface, version, method = pieces
+        return cls(target, interface, version, method,
+                   XrlArgs.from_text(arg_text), protocol=protocol)
+
+    def with_args(self, args: XrlArgs) -> "Xrl":
+        return Xrl(self.target, self.interface, self.version, self.method,
+                   args, protocol=self.protocol)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def __repr__(self) -> str:
+        return f"Xrl({self.to_text()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Xrl) and self.to_text() == other.to_text()

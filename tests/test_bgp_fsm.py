@@ -1,0 +1,195 @@
+"""Tests for the BGP peer state machine."""
+
+import pytest
+
+from repro.bgp.fsm import BgpState, PeerFSM
+from repro.bgp.messages import (
+    BGPDecodeError,
+    ErrorCode,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+from repro.eventloop import EventLoop, SimulatedClock
+from repro.net import IPv4
+
+
+class RecordingActions:
+    def __init__(self):
+        self.sent = []
+        self.connects = 0
+        self.drops = 0
+        self.established = []
+        self.downs = []
+        self.updates = []
+
+    def start_connect(self):
+        self.connects += 1
+
+    def send_message(self, message):
+        self.sent.append(message)
+
+    def drop_connection(self):
+        self.drops += 1
+
+    def session_established(self, peer_open):
+        self.established.append(peer_open)
+
+    def session_down(self, reason):
+        self.downs.append(reason)
+
+    def update_received(self, update):
+        self.updates.append(update)
+
+
+@pytest.fixture
+def machine():
+    loop = EventLoop(SimulatedClock())
+    actions = RecordingActions()
+    fsm = PeerFSM(loop, actions, local_as=65001, bgp_id=IPv4("1.1.1.1"),
+                  peer_as=65002, holdtime=90, connect_retry_secs=5.0)
+    return loop, actions, fsm
+
+
+def establish(loop, actions, fsm):
+    fsm.manual_start()
+    fsm.connection_opened()
+    fsm.message_received(OpenMessage(65002, 90, IPv4("2.2.2.2")))
+    fsm.message_received(KeepaliveMessage())
+
+
+class TestHappyPath:
+    def test_idle_to_established(self, machine):
+        loop, actions, fsm = machine
+        assert fsm.state == BgpState.IDLE
+        fsm.manual_start()
+        assert fsm.state == BgpState.CONNECT
+        assert actions.connects == 1
+        fsm.connection_opened()
+        assert fsm.state == BgpState.OPENSENT
+        assert isinstance(actions.sent[0], OpenMessage)
+        fsm.message_received(OpenMessage(65002, 90, IPv4("2.2.2.2")))
+        assert fsm.state == BgpState.OPENCONFIRM
+        assert isinstance(actions.sent[1], KeepaliveMessage)
+        fsm.message_received(KeepaliveMessage())
+        assert fsm.state == BgpState.ESTABLISHED
+        assert len(actions.established) == 1
+
+    def test_holdtime_negotiation_takes_min(self, machine):
+        loop, actions, fsm = machine
+        fsm.manual_start()
+        fsm.connection_opened()
+        fsm.message_received(OpenMessage(65002, 30, IPv4("2.2.2.2")))
+        assert fsm.negotiated_holdtime == 30
+
+    def test_update_dispatched(self, machine):
+        loop, actions, fsm = machine
+        establish(loop, actions, fsm)
+        update = UpdateMessage()
+        fsm.message_received(update)
+        assert actions.updates == [update]
+
+
+class TestErrors:
+    def test_wrong_peer_as_rejected(self, machine):
+        loop, actions, fsm = machine
+        fsm.manual_start()
+        fsm.connection_opened()
+        fsm.message_received(OpenMessage(65999, 90, IPv4("2.2.2.2")))
+        assert fsm.state == BgpState.ACTIVE
+        assert any(isinstance(m, NotificationMessage) for m in actions.sent)
+
+    def test_update_before_established_is_fsm_error(self, machine):
+        loop, actions, fsm = machine
+        fsm.manual_start()
+        fsm.connection_opened()
+        fsm.message_received(UpdateMessage())
+        notifications = [m for m in actions.sent
+                         if isinstance(m, NotificationMessage)]
+        assert notifications and notifications[0].code == ErrorCode.FSM_ERROR
+
+    def test_notification_tears_down(self, machine):
+        loop, actions, fsm = machine
+        establish(loop, actions, fsm)
+        fsm.message_received(NotificationMessage(ErrorCode.CEASE))
+        assert fsm.state == BgpState.ACTIVE
+        assert actions.downs
+
+    def test_decode_error_sends_notification(self, machine):
+        loop, actions, fsm = machine
+        establish(loop, actions, fsm)
+        fsm.decode_error(BGPDecodeError("bad", ErrorCode.UPDATE_MESSAGE_ERROR, 1))
+        notifications = [m for m in actions.sent
+                         if isinstance(m, NotificationMessage)]
+        assert notifications[-1].code == ErrorCode.UPDATE_MESSAGE_ERROR
+
+
+class TestTimers:
+    def test_hold_timer_expiry(self, machine):
+        loop, actions, fsm = machine
+        establish(loop, actions, fsm)
+        # Nothing arrives for the negotiated holdtime: session must drop.
+        loop.run(duration=91)
+        assert fsm.state != BgpState.ESTABLISHED
+        assert actions.downs
+        notifications = [m for m in actions.sent
+                         if isinstance(m, NotificationMessage)]
+        assert any(n.code == ErrorCode.HOLD_TIMER_EXPIRED for n in notifications)
+
+    def test_keepalives_hold_session_up(self, machine):
+        loop, actions, fsm = machine
+        establish(loop, actions, fsm)
+        for __ in range(10):
+            loop.run(duration=25)
+            fsm.message_received(KeepaliveMessage())
+        assert fsm.state == BgpState.ESTABLISHED
+
+    def test_keepalives_are_sent(self, machine):
+        loop, actions, fsm = machine
+        establish(loop, actions, fsm)
+        loop.run(duration=35)
+        keepalives = [m for m in actions.sent if isinstance(m, KeepaliveMessage)]
+        assert len(keepalives) >= 2  # the OPENCONFIRM one plus periodic
+
+    def test_connect_retry(self, machine):
+        loop, actions, fsm = machine
+        fsm.manual_start()
+        fsm.connection_failed()
+        assert fsm.state == BgpState.ACTIVE
+        loop.run(duration=6)
+        assert fsm.state == BgpState.CONNECT
+        assert actions.connects == 2
+
+    def test_established_connection_loss_reconnects(self, machine):
+        loop, actions, fsm = machine
+        establish(loop, actions, fsm)
+        fsm.connection_failed()
+        assert actions.downs == ["connection lost"]
+        loop.run(duration=6)
+        assert actions.connects == 2
+
+
+class TestAdmin:
+    def test_manual_stop_sends_cease(self, machine):
+        loop, actions, fsm = machine
+        establish(loop, actions, fsm)
+        fsm.manual_stop()
+        assert fsm.state == BgpState.IDLE
+        notifications = [m for m in actions.sent
+                         if isinstance(m, NotificationMessage)]
+        assert notifications[-1].code == ErrorCode.CEASE
+        assert actions.downs
+
+    def test_stop_then_restart(self, machine):
+        loop, actions, fsm = machine
+        establish(loop, actions, fsm)
+        fsm.manual_stop()
+        fsm.manual_start()
+        assert fsm.state == BgpState.CONNECT
+
+    def test_start_twice_is_noop(self, machine):
+        loop, actions, fsm = machine
+        fsm.manual_start()
+        fsm.manual_start()
+        assert actions.connects == 1

@@ -1,0 +1,99 @@
+"""Tests for the experiment harnesses (small scales; benches run full)."""
+
+import pytest
+
+from repro.experiments import (
+    run_latency_experiment,
+    run_route_flow,
+    run_xrl_throughput,
+    synthetic_feed,
+)
+from repro.experiments.latency import PROFILE_POINTS
+from repro.experiments.synth import synthetic_prefixes
+
+
+class TestSyntheticFeed:
+    def test_exact_count_unique(self):
+        prefixes = synthetic_prefixes(5000)
+        assert len(prefixes) == 5000
+        assert len({p.key() for p in prefixes}) == 5000
+
+    def test_deterministic(self):
+        assert [str(p) for p in synthetic_prefixes(100)] == \
+            [str(p) for p in synthetic_prefixes(100)]
+
+    def test_length_mix_dominated_by_24s(self):
+        prefixes = synthetic_prefixes(5000)
+        share_24 = sum(1 for p in prefixes if p.prefix_len == 24) / 5000
+        assert 0.35 < share_24 < 0.60
+
+    def test_feed_groups_cover_all_prefixes(self):
+        total = 0
+        for attributes, prefixes in synthetic_feed(3000, group_size=100):
+            assert len(prefixes) <= 100
+            assert attributes.nexthop is not None
+            assert attributes.as_path.first_asn() == 65002
+            total += len(prefixes)
+        assert total == 3000
+
+    def test_avoids_experiment_address_space(self):
+        for p in synthetic_prefixes(3000):
+            assert not p.overlaps(__import__("repro.net", fromlist=["IPNet"])
+                                  .IPNet.parse("10.0.0.0/8"))
+
+
+class TestXrlPerfHarness:
+    def test_small_run(self):
+        result = run_xrl_throughput(arg_counts=[0, 4], transaction_size=500,
+                                    families=["intra", "tcp"])
+        assert result.mean("intra", 0) > 0
+        assert result.mean("tcp", 4) > 0
+        table = result.table()
+        assert "intra" in table and "tcp" in table
+
+    def test_udp_family(self):
+        result = run_xrl_throughput(arg_counts=[0], transaction_size=200,
+                                    families=["udp"])
+        assert result.mean("udp", 0) > 0
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            run_xrl_throughput(arg_counts=[0], families=["carrier-pigeon"])
+
+
+class TestLatencyHarness:
+    def test_empty_table_run(self):
+        result = run_latency_experiment(initial_routes=0, test_routes=8)
+        for label, __, __ in PROFILE_POINTS[1:]:
+            assert len(result.deltas[label]) == 8
+        averages = [result.stats(label)[0]
+                    for label, __, __ in PROFILE_POINTS[1:]]
+        assert averages == sorted(averages)
+        assert "Entering kernel" in result.table()
+
+    def test_preloaded_run_small(self):
+        result = run_latency_experiment(initial_routes=2000, test_routes=5)
+        assert result.initial_routes == 2000
+        assert len(result.kernel_latencies()) == 5
+
+    def test_different_peering(self):
+        result = run_latency_experiment(initial_routes=500, test_routes=5,
+                                        same_peering=False)
+        assert result.peering == "different"
+        assert len(result.kernel_latencies()) == 5
+
+
+class TestRouteFlowHarness:
+    def test_shapes_small(self):
+        result = run_route_flow(route_count=20, scan_interval=10.0)
+        assert result.max_delay("xorp") < 1.0
+        assert result.max_delay("mrtd") < 1.0
+        assert result.max_delay("cisco") > 3.0
+        assert result.max_delay("quagga") > 3.0
+        table = result.table()
+        assert "xorp" in table and "cisco" in table
+        assert "*" in result.ascii_plot("cisco")
+
+    def test_subset_of_kinds(self):
+        result = run_route_flow(kinds=["mrtd"], route_count=5)
+        assert list(result.series) == ["mrtd"]

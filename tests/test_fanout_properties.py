@@ -1,0 +1,117 @@
+"""Property-based test of the fanout queue under adversarial schedules.
+
+Random interleavings of route changes, reader attachment (with background
+dumps), slow-reader busy toggling, and partial event-loop turns.  After
+quiescing, every reader's reconstructed table must equal the winners trie
+and every reader's message stream must satisfy the consistency rules.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.fanout import FanoutQueue
+from repro.eventloop import EventLoop, SimulatedClock
+from repro.net import IPNet, IPv4
+
+PREFIX_COUNT = 8
+
+
+class _Route:
+    __slots__ = ("net", "version")
+
+    def __init__(self, index, version):
+        self.net = IPNet(IPv4(0x0A000000 + (index << 8)), 24)
+        self.version = version
+
+    def __repr__(self):
+        return f"_Route({self.net} v{self.version})"
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("change"), st.integers(0, PREFIX_COUNT - 1)),
+        st.tuples(st.just("attach"), st.integers(0, 3)),
+        st.tuples(st.just("busy"), st.integers(0, 3)),
+        st.tuples(st.just("ready"), st.integers(0, 3)),
+        st.tuples(st.just("turn"), st.integers(1, 4)),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations)
+def test_every_reader_converges_to_winners(ops):
+    loop = EventLoop(SimulatedClock())
+    fanout = FanoutQueue("fanout", loop, dump_slice=3)
+    logs = {}
+    version = [0]
+    attached = set()
+
+    def attach(name):
+        if name in attached:
+            return
+        attached.add(name)
+        logs[name] = []
+        fanout.add_reader(
+            name, lambda op, r, old, n=name: logs[n].append((op, r, old)),
+            dump=True)
+
+    current = {}  # index -> route (mirror of what we told the fanout)
+    for op, value in ops:
+        if op == "change":
+            index = value
+            existing = current.get(index)
+            version[0] += 1
+            if existing is None:
+                fresh = _Route(index, version[0])
+                current[index] = fresh
+                fanout.add_route(fresh)
+            elif version[0] % 3 == 0:
+                fanout.delete_route(existing)
+                del current[index]
+            else:
+                fresh = _Route(index, version[0])
+                fanout.replace_route(existing, fresh)
+                current[index] = fresh
+        elif op == "attach":
+            attach(f"r{value}")
+        elif op == "busy":
+            name = f"r{value}"
+            if name in attached:
+                fanout.set_reader_busy(name, True)
+        elif op == "ready":
+            name = f"r{value}"
+            if name in attached:
+                fanout.set_reader_busy(name, False)
+        else:  # turn: run a few loop iterations mid-stream
+            for __ in range(value):
+                loop.run_once(block=False)
+
+    # Quiesce: everyone ready, loop drained.
+    for name in attached:
+        fanout.set_reader_busy(name, False)
+    loop.run()
+
+    winners = {net: route for net, route in fanout.winners.items()}
+    expected = {route.net: route for route in current.values()}
+    assert winners == expected
+
+    for name in attached:
+        state = {}
+        for op, route, old in logs[name]:
+            if op == "add":
+                assert route.net not in state, (
+                    f"{name}: duplicate add {route.net}")
+                state[route.net] = route
+            elif op == "delete":
+                assert route.net in state, (
+                    f"{name}: spurious delete {route.net}")
+                del state[route.net]
+            else:
+                assert route.net in state, (
+                    f"{name}: spurious replace {route.net}")
+                state[route.net] = route
+        assert state == expected, f"{name}: diverged"
+    # The drained queue holds nothing once every reader caught up.
+    assert fanout.queue_length == 0

@@ -1,0 +1,104 @@
+"""Whole-router integration: Router-Manager-driven routers running BGP,
+OSPF and static routes concurrently over the simulated network."""
+
+import pytest
+
+from repro.bgp import BgpState
+from repro.net import IPNet, IPv4
+from repro.rtrmgr import Cli, RouterManager
+from repro.simnet import SimNetwork
+
+
+def net(text):
+    return IPNet.parse(text)
+
+
+@pytest.fixture
+def two_managed_routers():
+    network = SimNetwork()
+    r1 = network.add_router("r1")
+    r2 = network.add_router("r2")
+    network.link(r1, "10.0.0.1", r2, "10.0.0.2")
+    network.run(duration=1)
+    mgr1 = RouterManager(r1.host)
+    mgr2 = RouterManager(r2.host)
+    return network, r1, r2, mgr1, mgr2
+
+
+def wire_bgp_sessions(network, mgr1, mgr2):
+    """Connect the two managed BGP processes with a session pair."""
+    sessions = network.bgp_session(latency=0.002)
+    handler1 = mgr1.modules["bgp"].peers["10.0.0.2"]
+    handler2 = mgr2.modules["bgp"].peers["10.0.0.1"]
+    handler1.attach_session(sessions[0])
+    handler2.attach_session(sessions[1])
+    handler1.enable()
+    handler2.enable()
+    return handler1, handler2
+
+
+class TestManagedBgpPair:
+    def test_config_to_established_to_routes(self, two_managed_routers):
+        network, r1, r2, mgr1, mgr2 = two_managed_routers
+        cli1, cli2 = Cli(mgr1), Cli(mgr2)
+        for cli, local_as, peer, bgp_id in (
+                (cli1, 65001, "10.0.0.2 as 65002", "1.1.1.1"),
+                (cli2, 65002, "10.0.0.1 as 65001", "2.2.2.2")):
+            assert cli.execute(f"set protocols bgp local-as {local_as}") == "OK"
+            assert cli.execute(f"set protocols bgp bgp-id {bgp_id}") == "OK"
+            addr, __, asn = peer.partition(" as ")
+            assert cli.execute(
+                f"set protocols bgp peer {addr} as {asn.strip()}") == "OK"
+            local_ip = "10.0.0.1" if cli is cli1 else "10.0.0.2"
+            assert cli.execute(
+                f"set protocols bgp peer {addr} local-ip {local_ip}") == "OK"
+            assert cli.execute("commit") == "Commit OK"
+        handler1, handler2 = wire_bgp_sessions(network, mgr1, mgr2)
+        assert network.run_until(
+            lambda: handler1.fsm.state == BgpState.ESTABLISHED
+            and handler2.fsm.state == BgpState.ESTABLISHED, timeout=60)
+        # Originate a route at r1 through the CLI's XRL scripting facility.
+        out = cli1.execute(
+            'call "finder://bgp/bgp/1.0/originate_route4'
+            '?net:ipv4net=99.0.0.0/8&next_hop:ipv4=10.0.0.1&unicast:bool=true"')
+        assert not out.startswith("error"), out
+        assert network.run_until(
+            lambda: r2.fea.fib4.lookup(IPv4("99.1.1.1")) is not None,
+            timeout=60)
+        # Operator visibility on the receiving side.
+        assert "99.0.0.0/8" in cli2.execute("show bgp routes")
+        assert "Established" in cli2.execute("show bgp")
+
+    def test_mixed_protocol_router(self, two_managed_routers):
+        """BGP + OSPF + static all configured on one router via commit."""
+        network, r1, r2, mgr1, mgr2 = two_managed_routers
+        cli = Cli(mgr1)
+        for line in (
+            "set protocols bgp local-as 65001",
+            "set protocols ospf router-id 1.1.1.1",
+            "set protocols ospf interface eth0 cost 1",
+            "set protocols static route 192.168.0.0/16 next-hop 10.0.0.2",
+        ):
+            assert cli.execute(line) == "OK", line
+        assert cli.execute("commit") == "Commit OK"
+        modules = cli.execute("show modules").split("\n")
+        assert {"bgp", "ospf", "static_routes"} <= set(modules)
+        # The static route reaches the FIB; OSPF speaks on eth0.
+        assert network.run_until(
+            lambda: r1.fea.fib4.lookup(IPv4("192.168.5.5")) is not None,
+            timeout=30)
+        ospf = mgr1.modules["ospf"]
+        assert "eth0" in ospf.interfaces
+
+    def test_second_commit_is_incremental(self, two_managed_routers):
+        network, r1, r2, mgr1, mgr2 = two_managed_routers
+        cli = Cli(mgr1)
+        cli.execute("set protocols static route 192.168.0.0/16 next-hop 10.0.0.2")
+        assert cli.execute("commit") == "Commit OK"
+        static = mgr1.modules["static_routes"]
+        assert len(static.routes) == 1
+        cli.execute("set protocols static route 172.16.0.0/12 next-hop 10.0.0.2")
+        assert cli.execute("commit") == "Commit OK"
+        assert static is mgr1.modules["static_routes"]  # not restarted
+        assert len(static.routes) == 2
+        assert mgr1.commit_count == 2

@@ -1,0 +1,173 @@
+"""Tests for IGMP membership tracking and PIM-SM-lite."""
+
+import pytest
+
+from repro.mld6igmp import IgmpPacket, IgmpPacketError, Mld6igmpProcess
+from repro.mld6igmp.igmp import (
+    IGMP_LEAVE_GROUP,
+    IGMP_MEMBERSHIP_QUERY,
+    IGMP_V2_MEMBERSHIP_REPORT,
+)
+from repro.net import IPNet, IPv4
+from repro.pim import PimProcess
+from repro.simnet import SimNetwork
+from repro.xrl import Xrl, XrlArgs
+
+
+class TestIgmpCodec:
+    def test_report_round_trip(self):
+        packet = IgmpPacket(IGMP_V2_MEMBERSHIP_REPORT, IPv4("239.1.2.3"))
+        decoded = IgmpPacket.decode(packet.encode())
+        assert decoded.type == IGMP_V2_MEMBERSHIP_REPORT
+        assert decoded.group == IPv4("239.1.2.3")
+
+    def test_query_round_trip(self):
+        packet = IgmpPacket(IGMP_MEMBERSHIP_QUERY, IPv4(0), max_resp=100)
+        decoded = IgmpPacket.decode(packet.encode())
+        assert decoded.max_resp == 100
+
+    def test_checksum_verified(self):
+        raw = bytearray(IgmpPacket(IGMP_LEAVE_GROUP, IPv4("239.0.0.1")).encode())
+        raw[7] ^= 0xFF
+        with pytest.raises(IgmpPacketError):
+            IgmpPacket.decode(bytes(raw))
+
+    def test_bad_type(self):
+        with pytest.raises(IgmpPacketError):
+            IgmpPacket(0x42, IPv4(0))
+
+    def test_bad_length(self):
+        with pytest.raises(IgmpPacketError):
+            IgmpPacket.decode(b"\x16\x00\x00")
+
+
+@pytest.fixture
+def multicast_router():
+    """Router with FEA+RIB+IGMP+PIM, two links, and a route to the RP."""
+    network = SimNetwork()
+    router = network.add_router("r1")
+    rp_side = network.add_router("rp")
+    receiver_side = network.add_router("recv")
+    network.link(router, "10.0.0.1", rp_side, "10.0.0.2")       # eth0 -> RP
+    network.link(router, "10.1.0.1", receiver_side, "10.1.0.2")  # eth1
+    igmp = Mld6igmpProcess(router.host)
+    pim = PimProcess(router.host)
+    network.run(duration=1)  # connected routes settle
+    return network, router, igmp, pim
+
+
+def xrl_sync(process, xrl_text):
+    return process.xrl.send_sync(Xrl.from_text(xrl_text), timeout=10)
+
+
+class TestIgmpProcess:
+    def test_membership_via_xrl(self, multicast_router):
+        network, router, igmp, pim = multicast_router
+        error, __ = xrl_sync(
+            igmp, "finder://mld6igmp/mld6igmp/0.1/add_membership4"
+                  "?ifname:txt=eth1&group:ipv4=239.1.1.1")
+        assert error.is_okay
+        error, args = xrl_sync(
+            igmp, "finder://mld6igmp/mld6igmp/0.1/list_memberships4"
+                  "?ifname:txt=eth1")
+        assert args.get_txt("groups") == "239.1.1.1"
+
+    def test_non_multicast_group_rejected(self, multicast_router):
+        network, router, igmp, pim = multicast_router
+        error, __ = xrl_sync(
+            igmp, "finder://mld6igmp/mld6igmp/0.1/add_membership4"
+                  "?ifname:txt=eth1&group:ipv4=10.0.0.1")
+        assert not error.is_okay
+
+    def test_wire_report_processing(self, multicast_router):
+        network, router, igmp, pim = multicast_router
+        packet = IgmpPacket(IGMP_V2_MEMBERSHIP_REPORT, IPv4("239.2.2.2"))
+        igmp.process_report("eth1", IgmpPacket.decode(packet.encode()))
+        assert 0xEF020202 in igmp.memberships["eth1"]
+        leave = IgmpPacket(IGMP_LEAVE_GROUP, IPv4("239.2.2.2"))
+        igmp.process_report("eth1", leave)
+        assert 0xEF020202 not in igmp.memberships["eth1"]
+
+    def test_duplicate_join_single_notification(self, multicast_router):
+        network, router, igmp, pim = multicast_router
+        igmp.xrl_add_membership4("eth1", IPv4("239.1.1.1"))
+        igmp.xrl_add_membership4("eth1", IPv4("239.1.1.1"))
+        network.run(duration=1)
+        # PIM saw exactly one join: one oif entry.
+        state = pim.groups.get(IPv4("239.1.1.1").to_int())
+        assert state is not None and state.oifs == {"eth1"}
+
+
+class TestPim:
+    def _set_rp(self, pim, prefix="239.0.0.0/8", rp="10.0.0.2"):
+        args = (XrlArgs().add_ipv4net("group_prefix", prefix)
+                .add_ipv4("rp", rp))
+        error, __ = pim.xrl.send_sync(
+            Xrl("pim", "pim", "0.1", "set_rp", args), timeout=10)
+        assert error.is_okay, error
+
+    def test_join_installs_mfc(self, multicast_router):
+        network, router, igmp, pim = multicast_router
+        self._set_rp(pim)
+        igmp.xrl_add_membership4("eth1", IPv4("239.1.1.1"))
+        key = (IPv4("10.0.0.2").to_int(), IPv4("239.1.1.1").to_int())
+        assert network.run_until(lambda: key in router.fea.mfib, timeout=20)
+        entry = router.fea.mfib[key]
+        assert entry.iif == "eth0"        # RPF towards the RP
+        assert entry.oifs == ("eth1",)    # receiver side
+
+    def test_leave_removes_mfc(self, multicast_router):
+        network, router, igmp, pim = multicast_router
+        self._set_rp(pim)
+        igmp.xrl_add_membership4("eth1", IPv4("239.1.1.1"))
+        key = (IPv4("10.0.0.2").to_int(), IPv4("239.1.1.1").to_int())
+        assert network.run_until(lambda: key in router.fea.mfib, timeout=20)
+        igmp.xrl_delete_membership4("eth1", IPv4("239.1.1.1"))
+        assert network.run_until(lambda: key not in router.fea.mfib,
+                                 timeout=20)
+        assert not pim.groups
+
+    def test_rp_selection_most_specific(self, multicast_router):
+        network, router, igmp, pim = multicast_router
+        self._set_rp(pim, "239.0.0.0/8", "10.0.0.2")
+        self._set_rp(pim, "239.1.0.0/16", "10.1.0.2")
+        assert pim.rp_for(IPv4("239.1.5.5")) == IPv4("10.1.0.2")
+        assert pim.rp_for(IPv4("239.2.5.5")) == IPv4("10.0.0.2")
+        assert pim.rp_for(IPv4("224.0.1.1")) is None
+
+    def test_join_without_rp_holds(self, multicast_router):
+        network, router, igmp, pim = multicast_router
+        igmp.xrl_add_membership4("eth1", IPv4("239.1.1.1"))
+        network.run(duration=2)
+        assert not router.fea.mfib  # no RP: no tree
+        # RP configured later: the tree comes up.
+        self._set_rp(pim)
+        key = (IPv4("10.0.0.2").to_int(), IPv4("239.1.1.1").to_int())
+        assert network.run_until(lambda: key in router.fea.mfib, timeout=20)
+
+    def test_rpf_reresolves_on_route_change(self, multicast_router):
+        """Paper: PIM monitors routing changes affecting RP routes."""
+        network, router, igmp, pim = multicast_router
+        self._set_rp(pim, "239.0.0.0/8", "77.0.0.1")  # distant RP
+        # Route to the RP via eth0 initially.
+        args = (XrlArgs().add_txt("protocol", "static")
+                .add_ipv4net("net", "77.0.0.0/8")
+                .add_ipv4("nexthop", "10.0.0.2")
+                .add_u32("metric", 1).add_list("policytags", []))
+        pim.xrl.send_sync(Xrl("rib", "rib", "1.0", "add_route4", args),
+                          timeout=10)
+        igmp.xrl_add_membership4("eth1", IPv4("239.1.1.1"))
+        key = (IPv4("77.0.0.1").to_int(), IPv4("239.1.1.1").to_int())
+        assert network.run_until(lambda: key in router.fea.mfib, timeout=20)
+        assert router.fea.mfib[key].iif == "eth0"
+        # Move the RP route to the other interface: a more specific route
+        # via eth1 invalidates PIM's registration; RPF must re-resolve.
+        args = (XrlArgs().add_txt("protocol", "static")
+                .add_ipv4net("net", "77.0.0.0/16")
+                .add_ipv4("nexthop", "10.1.0.2")
+                .add_u32("metric", 1).add_list("policytags", []))
+        pim.xrl.send_sync(Xrl("rib", "rib", "1.0", "add_route4", args),
+                          timeout=10)
+        assert network.run_until(
+            lambda: key in router.fea.mfib
+            and router.fea.mfib[key].iif == "eth1", timeout=20)

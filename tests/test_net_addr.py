@@ -1,0 +1,172 @@
+"""Unit tests for repro.net.addr."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import IPv4, IPv6, IPvX, AddressError
+
+
+class TestIPv4:
+    def test_parse_dotted_quad(self):
+        assert IPv4("128.16.0.1").to_int() == 0x80100001
+
+    def test_round_trip_string(self):
+        assert str(IPv4("10.0.1.254")) == "10.0.1.254"
+
+    def test_from_int(self):
+        assert str(IPv4(0x0A000001)) == "10.0.0.1"
+
+    def test_from_bytes(self):
+        assert IPv4(b"\x0a\x00\x00\x01") == IPv4("10.0.0.1")
+
+    def test_to_bytes(self):
+        assert IPv4("1.2.3.4").to_bytes() == b"\x01\x02\x03\x04"
+
+    def test_copy_constructor(self):
+        a = IPv4("192.168.1.1")
+        assert IPv4(a) == a
+
+    def test_rejects_shorthand(self):
+        with pytest.raises(AddressError):
+            IPv4("10.1")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(AddressError):
+            IPv4("not-an-address")
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(AddressError):
+            IPv4(1 << 32)
+
+    def test_rejects_negative(self):
+        with pytest.raises(AddressError):
+            IPv4(-1)
+
+    def test_rejects_wrong_byte_count(self):
+        with pytest.raises(AddressError):
+            IPv4(b"\x01\x02\x03")
+
+    def test_ordering(self):
+        assert IPv4("10.0.0.1") < IPv4("10.0.0.2") < IPv4("11.0.0.0")
+
+    def test_hashable(self):
+        assert len({IPv4("1.1.1.1"), IPv4("1.1.1.1"), IPv4("2.2.2.2")}) == 2
+
+    def test_multicast(self):
+        assert IPv4("224.0.0.5").is_multicast()
+        assert IPv4("239.255.255.255").is_multicast()
+        assert not IPv4("223.255.255.255").is_multicast()
+        assert not IPv4("240.0.0.0").is_multicast()
+
+    def test_loopback(self):
+        assert IPv4("127.0.0.1").is_loopback()
+        assert not IPv4("128.0.0.1").is_loopback()
+
+    def test_link_local(self):
+        assert IPv4("169.254.1.1").is_link_local()
+        assert not IPv4("169.253.1.1").is_link_local()
+
+    def test_unicast(self):
+        assert IPv4("8.8.8.8").is_unicast()
+        assert not IPv4("224.1.2.3").is_unicast()
+        assert not IPv4("255.255.255.255").is_unicast()
+
+    def test_mask_by_prefix_len(self):
+        assert IPv4("128.16.191.7").mask_by_prefix_len(18) == IPv4("128.16.128.0")
+        assert IPv4("1.2.3.4").mask_by_prefix_len(0) == IPv4("0.0.0.0")
+        assert IPv4("1.2.3.4").mask_by_prefix_len(32) == IPv4("1.2.3.4")
+
+    def test_mask_rejects_bad_len(self):
+        with pytest.raises(AddressError):
+            IPv4("1.2.3.4").mask_by_prefix_len(33)
+
+    def test_bit_indexing_msb_first(self):
+        addr = IPv4("128.0.0.1")
+        assert addr.bit(0) == 1
+        assert addr.bit(1) == 0
+        assert addr.bit(31) == 1
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_int_round_trip(self, value):
+        assert IPv4(IPv4(value).to_bytes()).to_int() == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_string_round_trip(self, value):
+        assert IPv4(str(IPv4(value))).to_int() == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1),
+           st.integers(min_value=0, max_value=32))
+    def test_masking_idempotent(self, value, plen):
+        masked = IPv4(value).mask_by_prefix_len(plen)
+        assert masked.mask_by_prefix_len(plen) == masked
+
+
+class TestIPv6:
+    def test_parse(self):
+        assert IPv6("::1").to_int() == 1
+
+    def test_round_trip(self):
+        assert str(IPv6("2001:db8::42")) == "2001:db8::42"
+
+    def test_from_bytes(self):
+        assert IPv6(b"\x00" * 15 + b"\x01") == IPv6("::1")
+
+    def test_multicast(self):
+        assert IPv6("ff02::1").is_multicast()
+        assert not IPv6("fe80::1").is_multicast()
+
+    def test_loopback(self):
+        assert IPv6("::1").is_loopback()
+
+    def test_link_local(self):
+        assert IPv6("fe80::1").is_link_local()
+        assert not IPv6("2001:db8::1").is_link_local()
+
+    def test_mask(self):
+        assert IPv6("2001:db8:ffff::1").mask_by_prefix_len(32) == IPv6("2001:db8::")
+
+    def test_ordering(self):
+        assert IPv6("::1") < IPv6("::2")
+
+    def test_rejects_v4_text(self):
+        with pytest.raises(AddressError):
+            IPv6("10.0.0.1")
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_int_round_trip(self, value):
+        assert IPv6(IPv6(value).to_bytes()).to_int() == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_string_round_trip(self, value):
+        assert IPv6(str(IPv6(value))).to_int() == value
+
+
+class TestIPvX:
+    def test_wraps_v4_text(self):
+        x = IPvX("10.0.0.1")
+        assert x.is_ipv4() and not x.is_ipv6()
+        assert x.get_ipv4() == IPv4("10.0.0.1")
+
+    def test_wraps_v6_text(self):
+        x = IPvX("2001:db8::1")
+        assert x.is_ipv6()
+        assert x.get_ipv6() == IPv6("2001:db8::1")
+
+    def test_family(self):
+        assert IPvX("1.2.3.4").family == 1
+        assert IPvX("::1").family == 2
+
+    def test_wrong_family_raises(self):
+        with pytest.raises(AddressError):
+            IPvX("1.2.3.4").get_ipv6()
+
+    def test_equality_with_concrete(self):
+        assert IPvX("1.2.3.4") == IPv4("1.2.3.4")
+        assert IPvX("1.2.3.4") != IPv6("::1")
+
+    def test_unwrap(self):
+        assert isinstance(IPvX("::1").unwrap(), IPv6)
+
+    def test_hash_matches_concrete(self):
+        assert hash(IPvX("1.2.3.4")) == hash(IPv4("1.2.3.4"))

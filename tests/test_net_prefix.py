@@ -1,0 +1,159 @@
+"""Unit tests for repro.net.prefix (IPNet)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import AddressError, IPNet, IPv4, IPv6, IPv4Net, IPv6Net
+
+
+def v4net(text):
+    return IPNet.parse(text)
+
+
+class TestParsing:
+    def test_parse_v4(self):
+        net = v4net("128.16.0.0/16")
+        assert str(net) == "128.16.0.0/16"
+        assert net.prefix_len == 16
+
+    def test_parse_v6(self):
+        net = IPNet.parse("2001:db8::/32")
+        assert net.is_ipv6()
+        assert net.prefix_len == 32
+
+    def test_host_bits_are_masked(self):
+        assert v4net("128.16.64.1/18") == v4net("128.16.64.0/18")
+
+    def test_needs_slash(self):
+        with pytest.raises(AddressError):
+            IPNet.parse("10.0.0.0")
+
+    def test_bad_length(self):
+        with pytest.raises(AddressError):
+            IPNet.parse("10.0.0.0/33")
+        with pytest.raises(AddressError):
+            IPNet.parse("10.0.0.0/x")
+
+    def test_convenience_constructors(self):
+        assert IPv4Net("10.0.0.0/8") == IPNet(IPv4("10.0.0.0"), 8)
+        assert IPv6Net("::/0") == IPNet(IPv6(0), 0)
+        with pytest.raises(AddressError):
+            IPv4Net("::/0")
+
+
+class TestContainment:
+    def test_contains_addr(self):
+        net = v4net("128.16.0.0/18")
+        assert net.contains_addr(IPv4("128.16.32.1"))
+        assert not net.contains_addr(IPv4("128.16.64.1"))
+
+    def test_contains_net(self):
+        assert v4net("128.16.0.0/16").contains(v4net("128.16.128.0/17"))
+        assert v4net("128.16.0.0/16").contains(v4net("128.16.0.0/16"))
+        assert not v4net("128.16.128.0/17").contains(v4net("128.16.0.0/16"))
+
+    def test_cross_family_never_contains(self):
+        assert not v4net("0.0.0.0/0").contains(IPNet.parse("::/0"))
+        assert not v4net("0.0.0.0/0").contains_addr(IPv6("::1"))
+
+    def test_overlaps(self):
+        assert v4net("10.0.0.0/8").overlaps(v4net("10.1.0.0/16"))
+        assert v4net("10.1.0.0/16").overlaps(v4net("10.0.0.0/8"))
+        assert not v4net("10.0.0.0/8").overlaps(v4net("11.0.0.0/8"))
+
+    def test_first_last_addr(self):
+        net = v4net("10.0.0.0/30")
+        assert net.first_addr() == IPv4("10.0.0.0")
+        assert net.last_addr() == IPv4("10.0.0.3")
+
+
+class TestDerivation:
+    def test_supernet(self):
+        assert v4net("128.16.128.0/17").supernet() == v4net("128.16.0.0/16")
+
+    def test_default_has_no_supernet(self):
+        with pytest.raises(AddressError):
+            v4net("0.0.0.0/0").supernet()
+
+    def test_halves(self):
+        low, high = v4net("128.16.0.0/16").halves()
+        assert low == v4net("128.16.0.0/17")
+        assert high == v4net("128.16.128.0/17")
+
+    def test_host_route_cannot_split(self):
+        with pytest.raises(AddressError):
+            v4net("1.2.3.4/32").halves()
+
+    def test_half_containing(self):
+        net = v4net("128.16.0.0/16")
+        assert net.half_containing(IPv4("128.16.200.1")) == v4net("128.16.128.0/17")
+        with pytest.raises(AddressError):
+            net.half_containing(IPv4("129.0.0.1"))
+
+    def test_hosts(self):
+        hosts = list(v4net("10.0.0.0/30").hosts())
+        assert [str(h) for h in hosts] == [
+            "10.0.0.0", "10.0.0.1", "10.0.0.2", "10.0.0.3",
+        ]
+
+    def test_default_route(self):
+        assert IPNet.default_route(IPv4).is_default()
+        assert str(IPNet.default_route(IPv6)) == "::/0"
+
+
+class TestOrderingAndHashing:
+    def test_sort_order(self):
+        nets = [v4net("10.1.0.0/16"), v4net("10.0.0.0/8"), v4net("10.0.0.0/16")]
+        assert sorted(str(n) for n in [min(nets)]) == ["10.0.0.0/8"]
+
+    def test_shorter_prefix_sorts_first_at_same_address(self):
+        assert v4net("10.0.0.0/8") < v4net("10.0.0.0/16")
+
+    def test_hash_equal_nets(self):
+        assert len({v4net("10.0.0.0/8"), v4net("10.0.0.1/8")}) == 1
+
+    def test_key(self):
+        assert v4net("128.0.0.0/1").key() == (0x80000000, 1)
+
+
+prefixes = st.builds(
+    lambda value, plen: IPNet(IPv4(value), plen),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+)
+
+
+class TestProperties:
+    @given(prefixes)
+    def test_contains_self(self, net):
+        assert net.contains(net)
+
+    @given(prefixes)
+    def test_first_addr_inside(self, net):
+        assert net.contains_addr(net.first_addr())
+        assert net.contains_addr(net.last_addr())
+
+    @given(prefixes)
+    def test_parse_round_trip(self, net):
+        assert IPNet.parse(str(net)) == net
+
+    @given(prefixes)
+    def test_halves_partition(self, net):
+        if net.prefix_len == 32:
+            return
+        low, high = net.halves()
+        assert net.contains(low) and net.contains(high)
+        assert not low.overlaps(high)
+        assert low.last_addr().to_int() + 1 == high.first_addr().to_int()
+
+    @given(prefixes, prefixes)
+    def test_containment_antisymmetry(self, a, b):
+        if a.contains(b) and b.contains(a):
+            assert a == b
+
+    @given(prefixes)
+    def test_supernet_contains(self, net):
+        if net.prefix_len == 0:
+            return
+        assert net.supernet().contains(net)

@@ -1,0 +1,237 @@
+"""OSPF-lite tests: codec, SPF, and full protocol over the simulated net."""
+
+import pytest
+
+from repro.net import IPNet, IPv4
+from repro.ospf import (
+    HelloPacket,
+    LsUpdatePacket,
+    OspfDecodeError,
+    OspfProcess,
+    RouterLSA,
+    shortest_path_routes,
+)
+from repro.ospf.packets import decode_packet
+from repro.simnet import SimNetwork
+
+
+def net(text):
+    return IPNet.parse(text)
+
+
+class TestCodec:
+    def test_hello_round_trip(self):
+        hello = HelloPacket(IPv4("1.1.1.1"), 10, 40,
+                            [IPv4("2.2.2.2"), IPv4("3.3.3.3")])
+        decoded = decode_packet(hello.encode())
+        assert isinstance(decoded, HelloPacket)
+        assert decoded.router_id == IPv4("1.1.1.1")
+        assert decoded.neighbors == [IPv4("2.2.2.2"), IPv4("3.3.3.3")]
+        assert decoded.dead_interval == 40
+
+    def test_lsa_round_trip(self):
+        lsa = RouterLSA(IPv4("1.1.1.1"), 7, [])
+        lsa.add_ptp(IPv4("2.2.2.2"), IPv4("10.0.0.1"), 3)
+        lsa.add_stub(net("10.0.0.0/24"), 1)
+        update = LsUpdatePacket(IPv4("1.1.1.1"), [lsa])
+        decoded = decode_packet(update.encode())
+        assert isinstance(decoded, LsUpdatePacket)
+        assert decoded.lsas == [lsa]
+        assert decoded.lsas[0].ptp_neighbors() == [
+            (IPv4("2.2.2.2"), IPv4("10.0.0.1"), 3)]
+        assert decoded.lsas[0].stub_prefixes() == [(net("10.0.0.0/24"), 1)]
+
+    def test_checksum_verified(self):
+        raw = bytearray(HelloPacket(IPv4("1.1.1.1"), 10, 40, []).encode())
+        raw[-1] ^= 0xFF
+        with pytest.raises(OspfDecodeError):
+            decode_packet(bytes(raw))
+
+    def test_bad_version(self):
+        raw = bytearray(HelloPacket(IPv4("1.1.1.1"), 10, 40, []).encode())
+        raw[0] = 3
+        with pytest.raises(OspfDecodeError):
+            decode_packet(bytes(raw))
+
+    def test_truncated(self):
+        with pytest.raises(OspfDecodeError):
+            decode_packet(b"\x02\x01\x00\x10")
+
+
+def lsa(rid, ptp=(), stubs=()):
+    out = RouterLSA(IPv4(rid), 1, [])
+    for neighbor, addr, metric in ptp:
+        out.add_ptp(IPv4(neighbor), IPv4(addr), metric)
+    for prefix, metric in stubs:
+        out.add_stub(net(prefix), metric)
+    return out
+
+
+class TestSpf:
+    def test_line_topology(self):
+        """a(1) -- b(2) -- c(3): a reaches c's stub through b."""
+        lsdb = {
+            IPv4("1.1.1.1").to_int(): lsa(
+                "1.1.1.1", ptp=[("2.2.2.2", "10.0.0.1", 1)],
+                stubs=[("10.0.0.0/24", 1)]),
+            IPv4("2.2.2.2").to_int(): lsa(
+                "2.2.2.2",
+                ptp=[("1.1.1.1", "10.0.0.2", 1), ("3.3.3.3", "10.0.1.1", 1)],
+                stubs=[("10.0.0.0/24", 1), ("10.0.1.0/24", 1)]),
+            IPv4("3.3.3.3").to_int(): lsa(
+                "3.3.3.3", ptp=[("2.2.2.2", "10.0.1.2", 1)],
+                stubs=[("10.0.1.0/24", 1), ("99.0.0.0/24", 2)]),
+        }
+        routes = shortest_path_routes(IPv4("1.1.1.1"), lsdb)
+        metric, nexthop, via = routes[net("99.0.0.0/24")]
+        assert metric == 1 + 1 + 2
+        assert nexthop == IPv4("10.0.0.2")  # b's address towards a
+        assert via == IPv4("2.2.2.2")
+
+    def test_unidirectional_link_ignored(self):
+        """A link reported by only one side must not be used."""
+        lsdb = {
+            IPv4("1.1.1.1").to_int(): lsa(
+                "1.1.1.1", ptp=[("2.2.2.2", "10.0.0.1", 1)]),
+            IPv4("2.2.2.2").to_int(): lsa(
+                "2.2.2.2", stubs=[("99.0.0.0/24", 1)]),  # no back link
+        }
+        routes = shortest_path_routes(IPv4("1.1.1.1"), lsdb)
+        assert routes == {}
+
+    def test_picks_cheaper_path(self):
+        """Triangle with one expensive direct edge."""
+        lsdb = {
+            IPv4("1.1.1.1").to_int(): lsa(
+                "1.1.1.1",
+                ptp=[("2.2.2.2", "10.0.0.1", 1), ("3.3.3.3", "10.0.2.1", 10)]),
+            IPv4("2.2.2.2").to_int(): lsa(
+                "2.2.2.2",
+                ptp=[("1.1.1.1", "10.0.0.2", 1), ("3.3.3.3", "10.0.1.1", 1)]),
+            IPv4("3.3.3.3").to_int(): lsa(
+                "3.3.3.3",
+                ptp=[("2.2.2.2", "10.0.1.2", 1), ("1.1.1.1", "10.0.2.2", 10)],
+                stubs=[("99.0.0.0/24", 0)]),
+        }
+        routes = shortest_path_routes(IPv4("1.1.1.1"), lsdb)
+        metric, nexthop, via = routes[net("99.0.0.0/24")]
+        assert metric == 2  # via b, not the metric-10 direct edge
+        assert via == IPv4("2.2.2.2")
+
+    def test_empty_or_unknown_root(self):
+        assert shortest_path_routes(IPv4("9.9.9.9"), {}) == {}
+
+
+def build_ospf_network(count=3, hello=1.0, dead=4.0):
+    """A chain of *count* routers running OSPF on every link."""
+    network = SimNetwork()
+    routers = []
+    processes = []
+    for index in range(count):
+        router = network.add_router(f"r{index + 1}")
+        routers.append(router)
+        if index:
+            network.link(routers[index - 1], f"10.0.{index}.1",
+                         router, f"10.0.{index}.2", prefix_len=24)
+    network.run(duration=0.5)
+    for index, router in enumerate(routers):
+        process = OspfProcess(router.host, IPv4(f"{index + 1}.{index + 1}."
+                                                f"{index + 1}.{index + 1}"),
+                              hello_interval=hello, dead_interval=dead)
+        for ifname in router.fea.ifmgr.names():
+            interface = router.fea.ifmgr.get(ifname)
+            process.xrl_add_ospf_interface(ifname, interface.addr,
+                                           interface.prefix_len, 1)
+        processes.append(process)
+    return network, routers, processes
+
+
+class TestProtocol:
+    def test_adjacency_forms(self):
+        network, routers, processes = build_ospf_network(2)
+        assert network.run_until(
+            lambda: "Full" in processes[0].xrl_get_neighbors()["neighbors"],
+            timeout=30)
+        assert "2.2.2.2@eth0:Full" in \
+            processes[0].xrl_get_neighbors()["neighbors"]
+
+    def test_lsdb_synchronises(self):
+        network, routers, processes = build_ospf_network(3)
+        assert network.run_until(
+            lambda: all(len(p.lsdb) == 3 for p in processes), timeout=60)
+
+    def test_routes_reach_fib_across_chain(self):
+        network, routers, processes = build_ospf_network(3)
+        # r1 must learn the far link's subnet (10.0.2.0/24) through r2.
+        assert network.run_until(
+            lambda: routers[0].fea.fib4.exact(net("10.0.2.0/24")) is not None,
+            timeout=60)
+        entry = routers[0].fea.fib4.exact(net("10.0.2.0/24"))
+        assert entry.nexthop == IPv4("10.0.1.2")  # r2's address towards r1
+        # Admin distance: OSPF is 110 in the RIB.
+        rib_route = routers[0].rib.v4.register.lookup_by_dest(IPv4("10.0.2.5"))
+        assert rib_route.protocol == "ospf"
+        assert rib_route.admin_distance == 110
+
+    def test_neighbor_death_triggers_reconvergence(self):
+        network, routers, processes = build_ospf_network(3, hello=1.0,
+                                                         dead=3.5)
+        # Give r3 a stub subnet nobody else touches (a non-OSPF stub link).
+        edge = network.add_router("edge")
+        network.link(routers[2], "10.0.99.1", edge, "10.0.99.2",
+                     prefix_len=24)
+        processes[2].xrl_add_ospf_interface("eth1", IPv4("10.0.99.1"), 24, 1)
+        assert network.run_until(
+            lambda: routers[0].fea.fib4.exact(net("10.0.99.0/24")) is not None,
+            timeout=60)
+        # Kill the r2-r3 link: r3 becomes unreachable, and r1 must
+        # withdraw the subnet only r3 advertises.
+        network.links[1].set_up(False)
+        assert network.run_until(
+            lambda: routers[0].fea.fib4.exact(net("10.0.99.0/24")) is None,
+            timeout=60)
+        # ...but keep 10.0.2.0/24: r2's interface on it is still up.
+        assert routers[0].fea.fib4.exact(net("10.0.2.0/24")) is not None
+
+    def test_spf_is_event_driven(self):
+        """SPF reruns on events, with debouncing — no periodic scanning."""
+        network, routers, processes = build_ospf_network(2)
+        assert network.run_until(
+            lambda: "Full" in processes[0].xrl_get_neighbors()["neighbors"],
+            timeout=30)
+        network.run(duration=10)  # let both sides finish converging
+        runs_after_convergence = processes[0].spf_runs
+        network.run(duration=30)  # several hello periods, nothing changes
+        assert processes[0].spf_runs == runs_after_convergence
+
+    def test_duplicate_interface_rejected(self):
+        network, routers, processes = build_ospf_network(2)
+        from repro.xrl import XrlError
+
+        with pytest.raises(XrlError):
+            processes[0].xrl_add_ospf_interface("eth0", IPv4("10.0.1.1"),
+                                                24, 1)
+
+    def test_metric_respects_interface_cost(self):
+        network = SimNetwork()
+        a = network.add_router("a")
+        b = network.add_router("b")
+        network.link(a, "10.0.0.1", b, "10.0.0.2")
+        network.link(a, "10.0.9.1", b, "10.0.9.2")  # parallel, expensive
+        network.run(duration=0.5)
+        ospf_a = OspfProcess(a.host, IPv4("1.1.1.1"), hello_interval=1.0)
+        ospf_b = OspfProcess(b.host, IPv4("2.2.2.2"), hello_interval=1.0)
+        ospf_a.xrl_add_ospf_interface("eth0", IPv4("10.0.0.1"), 24, 1)
+        ospf_a.xrl_add_ospf_interface("eth1", IPv4("10.0.9.1"), 24, 10)
+        ospf_b.xrl_add_ospf_interface("eth0", IPv4("10.0.0.2"), 24, 1)
+        ospf_b.xrl_add_ospf_interface("eth1", IPv4("10.0.9.2"), 24, 10)
+        # b alone advertises an extra stub subnet.
+        edge = network.add_router("edge")
+        network.link(b, "10.0.5.1", edge, "10.0.5.2", prefix_len=24)
+        ospf_b.xrl_add_ospf_interface("eth2", IPv4("10.0.5.1"), 24, 1)
+        assert network.run_until(
+            lambda: net("10.0.5.0/24") in ospf_a._installed, timeout=60)
+        metric, nexthop = ospf_a._installed[net("10.0.5.0/24")]
+        # The nexthop must be over the cheap link, and the metric 1+1.
+        assert nexthop == IPv4("10.0.0.2")
+        assert metric == 2

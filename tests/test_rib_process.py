@@ -1,0 +1,230 @@
+"""Integration tests: RIB process + FEA process over real XRLs."""
+
+import pytest
+
+from repro.core.process import Host
+from repro.fea import FeaProcess
+from repro.net import IPNet, IPv4
+from repro.rib import RibProcess
+from repro.xrl import Xrl, XrlArgs
+from repro.xrl.error import XrlErrorCode
+
+
+def net(text):
+    return IPNet.parse(text)
+
+
+@pytest.fixture
+def setup():
+    host = Host()
+    fea = FeaProcess(host)
+    rib = RibProcess(host)
+    # a client process to drive the RIB over XRLs
+    from repro.core.process import XorpProcess
+
+    client_process = XorpProcess(host, "testclient")
+    client = client_process.create_router("testclient")
+    return host, fea, rib, client
+
+
+def send(host, client, xrl_text):
+    error, args = client.send_sync(Xrl.from_text(xrl_text), timeout=10)
+    return error, args
+
+
+def add_route(host, client, protocol, net_text, nexthop, metric=1):
+    args = (XrlArgs().add_txt("protocol", protocol)
+            .add_ipv4net("net", net_text).add_ipv4("nexthop", nexthop)
+            .add_u32("metric", metric).add_list("policytags", []))
+    error, __ = client.send_sync(Xrl("rib", "rib", "1.0", "add_route4", args),
+                                 timeout=10)
+    return error
+
+
+def settle(host):
+    """Let queued work (txqueue to FEA, notifications) drain."""
+    host.loop.run_until(lambda: False, timeout=2.0)
+
+
+class TestRouteFlow:
+    def test_route_reaches_fib(self, setup):
+        host, fea, rib, client = setup
+        error = add_route(host, client, "static", "10.0.0.0/8", "192.168.0.1")
+        assert error.is_okay
+        assert host.loop.run_until(lambda: len(fea.fib4) == 1, timeout=5)
+        entry = fea.fib4.lookup(IPv4("10.1.2.3"))
+        assert entry.nexthop == IPv4("192.168.0.1")
+
+    def test_admin_distance_arbitration(self, setup):
+        """'As multiple protocols can supply different routes to the same
+        destination subnet, the RIB must arbitrate between alternatives.'"""
+        host, fea, rib, client = setup
+        send(host, client, "finder://rib/rib/1.0/add_igp_table4?protocol:txt=rip")
+        assert add_route(host, client, "rip", "10.0.0.0/8", "1.1.1.1").is_okay
+        assert add_route(host, client, "static", "10.0.0.0/8", "2.2.2.2").is_okay
+        settle(host)
+        assert fea.fib4.lookup(IPv4("10.0.0.1")).nexthop == IPv4("2.2.2.2")
+        # Withdraw the static route: RIP takes over.
+        args = XrlArgs().add_txt("protocol", "static").add_ipv4net("net", "10.0.0.0/8")
+        client.send_sync(Xrl("rib", "rib", "1.0", "delete_route4", args), timeout=10)
+        settle(host)
+        assert fea.fib4.lookup(IPv4("10.0.0.1")).nexthop == IPv4("1.1.1.1")
+
+    def test_delete_unknown_route_fails(self, setup):
+        host, fea, rib, client = setup
+        args = XrlArgs().add_txt("protocol", "static").add_ipv4net("net", "10.0.0.0/8")
+        error, __ = client.send_sync(
+            Xrl("rib", "rib", "1.0", "delete_route4", args), timeout=10)
+        assert error.code == XrlErrorCode.COMMAND_FAILED
+
+    def test_route_to_unknown_table_fails(self, setup):
+        host, fea, rib, client = setup
+        error = add_route(host, client, "ospf", "10.0.0.0/8", "1.1.1.1")
+        assert error.code == XrlErrorCode.COMMAND_FAILED
+
+    def test_external_route_needs_resolvable_nexthop(self, setup):
+        host, fea, rib, client = setup
+        send(host, client, "finder://rib/rib/1.0/add_egp_table4?protocol:txt=ebgp")
+        assert add_route(host, client, "ebgp", "20.0.0.0/8", "9.9.9.9").is_okay
+        settle(host)
+        assert fea.fib4.lookup(IPv4("20.0.0.1")) is None  # held: unresolvable
+        assert add_route(host, client, "static", "9.9.9.0/24", "0.0.0.0").is_okay
+        settle(host)
+        assert fea.fib4.lookup(IPv4("20.0.0.1")) is not None  # released
+
+    def test_lookup_route_by_dest(self, setup):
+        host, fea, rib, client = setup
+        add_route(host, client, "static", "10.0.0.0/8", "192.168.0.1", metric=7)
+        error, args = send(host, client,
+                           "finder://rib/rib/1.0/lookup_route_by_dest4?addr:ipv4=10.5.5.5")
+        assert error.is_okay
+        assert args.get_bool("resolves")
+        assert args.get_ipv4net("net") == net("10.0.0.0/8")
+        assert args.get_u32("metric") == 7
+        assert args.get_txt("protocol") == "static"
+
+    def test_lookup_no_route(self, setup):
+        host, fea, rib, client = setup
+        error, args = send(host, client,
+                           "finder://rib/rib/1.0/lookup_route_by_dest4?addr:ipv4=10.5.5.5")
+        assert error.is_okay
+        assert not args.get_bool("resolves")
+
+    def test_admin_distance_query(self, setup):
+        host, __, __, client = setup
+        error, args = send(host, client,
+                           "finder://rib/rib/1.0/get_protocol_admin_distance?protocol:txt=rip")
+        assert args.get_u32("admin_distance") == 120
+
+
+class TestInterestRegistration:
+    def register(self, client, target, addr):
+        args = XrlArgs().add_txt("target", target).add_ipv4("addr", addr)
+        return client.send_sync(
+            Xrl("rib", "rib", "1.0", "register_interest4", args), timeout=10)
+
+    def test_register_and_answer(self, setup):
+        host, fea, rib, client = setup
+        add_route(host, client, "static", "128.16.0.0/16", "1.1.1.1", metric=3)
+        add_route(host, client, "static", "128.16.0.0/18", "2.2.2.2", metric=5)
+        error, args = self.register(client, "testclient", "128.16.32.1")
+        assert error.is_okay
+        assert args.get_bool("resolves")
+        assert args.get_ipv4net("net") == net("128.16.0.0/18")
+        assert args.get_ipv4net("subnet") == net("128.16.0.0/18")
+        assert args.get_u32("metric") == 5
+
+    def test_invalidation_xrl_delivered(self, setup):
+        host, fea, rib, client = setup
+        from repro.interfaces import RIB_CLIENT_IDL
+
+        invalid = []
+
+        class Watcher:
+            def xrl_route_info_invalid4(self, subnet):
+                invalid.append(subnet)
+
+        client.bind(RIB_CLIENT_IDL, Watcher())
+        add_route(host, client, "static", "128.16.0.0/16", "1.1.1.1")
+        error, args = self.register(client, client.class_name, "128.16.32.1")
+        assert error.is_okay
+        subnet = args.get_ipv4net("subnet")
+        add_route(host, client, "static", "128.16.32.0/24", "3.3.3.3")
+        assert host.loop.run_until(lambda: bool(invalid), timeout=5)
+        assert invalid[0] == subnet
+
+    def test_deregister(self, setup):
+        host, fea, rib, client = setup
+        add_route(host, client, "static", "128.16.0.0/16", "1.1.1.1")
+        error, args = self.register(client, "testclient", "128.16.32.1")
+        dereg = (XrlArgs().add_txt("target", "testclient")
+                 .add_ipv4net("subnet", args.get_ipv4net("subnet")))
+        error, __ = client.send_sync(
+            Xrl("rib", "rib", "1.0", "deregister_interest4", dereg), timeout=10)
+        assert error.is_okay
+
+
+class TestRedistribution:
+    def test_redist_feed(self, setup):
+        host, fea, rib, client = setup
+        from repro.interfaces import REDIST4_IDL
+
+        feed = []
+
+        class RedistTarget:
+            def xrl_redist_add_route4(self, net, nexthop, metric,
+                                      admin_distance, protocol, policytags):
+                feed.append(("add", net, protocol))
+
+            def xrl_redist_delete_route4(self, net, protocol):
+                feed.append(("delete", net, protocol))
+
+        client.bind(REDIST4_IDL, RedistTarget())
+        send(host, client, "finder://rib/rib/1.0/add_igp_table4?protocol:txt=rip")
+        add_route(host, client, "static", "10.0.0.0/8", "1.1.1.1")
+        add_route(host, client, "rip", "11.0.0.0/8", "2.2.2.2")
+        # Enable redistribution of static routes to the client target.
+        args = (XrlArgs().add_txt("target", client.class_name)
+                .add_txt("from_protocol", "static"))
+        error, __ = client.send_sync(
+            Xrl("rib", "rib", "1.0", "redist_enable4", args), timeout=10)
+        assert error.is_okay
+        assert host.loop.run_until(lambda: bool(feed), timeout=5)
+        assert feed == [("add", net("10.0.0.0/8"), "static")]
+        # New matching routes keep flowing.
+        add_route(host, client, "static", "12.0.0.0/8", "1.1.1.1")
+        assert host.loop.run_until(lambda: len(feed) == 2, timeout=5)
+        assert feed[1][0] == "add" and feed[1][1] == net("12.0.0.0/8")
+
+
+class TestProfilingPoints:
+    def test_rib_profile_points_log(self, setup):
+        host, fea, rib, client = setup
+        rib.profiler.enable("route_arrive_rib")
+        rib.profiler.enable("route_queued_fea")
+        rib.profiler.enable("route_sent_fea")
+        fea.profiler.enable("route_arrive_fea")
+        fea.profiler.enable("route_kernel")
+        add_route(host, client, "static", "10.0.1.0/24", "1.1.1.1")
+        settle(host)
+        assert rib.profiler.var("route_arrive_rib").entries
+        assert rib.profiler.var("route_queued_fea").entries
+        assert rib.profiler.var("route_sent_fea").entries
+        assert fea.profiler.var("route_arrive_fea").entries
+        assert fea.profiler.var("route_kernel").entries
+        # Paper record format: "route_arrive_rib <secs> <usecs> add 10.0.1.0/24"
+        line = rib.profiler.var("route_arrive_rib").format_entries()[0]
+        parts = line.split()
+        assert parts[0] == "route_arrive_rib"
+        assert parts[3:] == ["add", "10.0.1.0/24"]
+
+    def test_profiler_via_xrl(self, setup):
+        host, fea, rib, client = setup
+        error, __ = send(host, client,
+                         "finder://rib/profile/1.0/enable?pname:txt=route_arrive_rib")
+        assert error.is_okay
+        add_route(host, client, "static", "10.0.1.0/24", "1.1.1.1")
+        error, args = send(host, client,
+                           "finder://rib/profile/1.0/get_entries?pname:txt=route_arrive_rib")
+        assert error.is_okay
+        assert "add 10.0.1.0/24" in args.get_txt("entries")

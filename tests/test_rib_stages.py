@@ -1,0 +1,365 @@
+"""Unit tests for the RIB stages: merge, extint, redist, register."""
+
+import pytest
+
+from repro.core.stages import OriginStage, RouteTableStage
+from repro.net import IPNet, IPv4
+from repro.rib import ExtIntStage, MergeStage, RedistStage, RegisterStage, RibRoute
+from repro.rib.route import preferred
+
+
+def net(text):
+    return IPNet.parse(text)
+
+
+def route(net_text, protocol, nexthop="192.168.0.1", metric=1, **kw):
+    return RibRoute(net(net_text), IPv4(nexthop), metric, protocol, **kw)
+
+
+class SinkStage(RouteTableStage):
+    def __init__(self):
+        super().__init__("sink")
+        self.log = []
+
+    def add_route(self, r, caller=None):
+        self.log.append(("add", r))
+
+    def delete_route(self, r, caller=None):
+        self.log.append(("delete", r))
+
+    def replace_route(self, old, new, caller=None):
+        self.log.append(("replace", old, new))
+
+    def current(self):
+        """Reconstruct the visible table from the message log."""
+        table = {}
+        for entry in self.log:
+            if entry[0] == "add":
+                assert entry[1].net not in table, "duplicate add"
+                table[entry[1].net] = entry[1]
+            elif entry[0] == "delete":
+                assert table.pop(entry[1].net, None) is not None, "spurious delete"
+            else:
+                assert entry[1].net in table, "spurious replace"
+                table[entry[2].net] = entry[2]
+        return table
+
+
+class TestPreference:
+    def test_admin_distance_order(self):
+        static = route("10.0.0.0/8", "static")
+        rip = route("10.0.0.0/8", "rip")
+        assert preferred(static, rip) is static
+        assert preferred(rip, static) is static
+
+    def test_none_handling(self):
+        r = route("10.0.0.0/8", "rip")
+        assert preferred(None, r) is r
+        assert preferred(r, None) is r
+        assert preferred(None, None) is None
+
+    def test_default_distances(self):
+        assert route("1.0.0.0/8", "connected").admin_distance == 0
+        assert route("1.0.0.0/8", "static").admin_distance == 1
+        assert route("1.0.0.0/8", "ebgp").admin_distance == 20
+        assert route("1.0.0.0/8", "rip").admin_distance == 120
+        assert route("1.0.0.0/8", "ibgp").admin_distance == 200
+        assert route("1.0.0.0/8", "martian").admin_distance == 255
+
+    def test_bgp_routes_external(self):
+        assert route("1.0.0.0/8", "ebgp").is_external
+        assert not route("1.0.0.0/8", "rip").is_external
+
+
+def merged_pair():
+    a, b = OriginStage("a"), OriginStage("b")
+    merge = MergeStage("m")
+    merge.set_parents(a, b)
+    sink = SinkStage()
+    merge.set_next(sink)
+    return a, b, merge, sink
+
+
+class TestMergeStage:
+    def test_single_branch_passthrough(self):
+        a, b, merge, sink = merged_pair()
+        r = route("10.0.0.0/8", "rip")
+        a.originate(r)
+        assert sink.current() == {r.net: r}
+
+    def test_better_branch_displaces(self):
+        a, b, merge, sink = merged_pair()
+        rip = route("10.0.0.0/8", "rip")
+        static = route("10.0.0.0/8", "static")
+        a.originate(rip)
+        b.originate(static)
+        assert sink.current()[rip.net] is static
+        assert sink.log[-1][0] == "replace"
+
+    def test_worse_branch_swallowed(self):
+        a, b, merge, sink = merged_pair()
+        static = route("10.0.0.0/8", "static")
+        rip = route("10.0.0.0/8", "rip")
+        a.originate(static)
+        b.originate(rip)
+        assert sink.current()[static.net] is static
+        assert len(sink.log) == 1  # the rip add never surfaced
+
+    def test_delete_of_winner_promotes_loser(self):
+        a, b, merge, sink = merged_pair()
+        static = route("10.0.0.0/8", "static")
+        rip = route("10.0.0.0/8", "rip")
+        a.originate(static)
+        b.originate(rip)
+        a.withdraw(static.net)
+        assert sink.current()[rip.net] is rip
+
+    def test_delete_of_loser_is_silent(self):
+        a, b, merge, sink = merged_pair()
+        static = route("10.0.0.0/8", "static")
+        rip = route("10.0.0.0/8", "rip")
+        a.originate(static)
+        b.originate(rip)
+        before = len(sink.log)
+        b.withdraw(rip.net)
+        assert len(sink.log) == before
+
+    def test_delete_last_route(self):
+        a, b, merge, sink = merged_pair()
+        r = route("10.0.0.0/8", "rip")
+        a.originate(r)
+        a.withdraw(r.net)
+        assert sink.current() == {}
+
+    def test_lookup_returns_winner(self):
+        a, b, merge, sink = merged_pair()
+        static = route("10.0.0.0/8", "static")
+        rip = route("10.0.0.0/8", "rip")
+        a.originate(rip)
+        b.originate(static)
+        assert merge.lookup_route(static.net) is static
+
+    def test_replace_with_now_losing_route(self):
+        a, b, merge, sink = merged_pair()
+        static = route("10.0.0.0/8", "static")
+        a.originate(route("10.0.0.0/8", "connected"))
+        b.originate(static)  # swallowed
+        a.originate(route("10.0.0.0/8", "rip"))  # replace: now loses to static
+        assert sink.current()[static.net] is static
+
+    def test_message_from_unknown_branch_asserts(self):
+        a, b, merge, sink = merged_pair()
+        stranger = OriginStage("x")
+        with pytest.raises(AssertionError):
+            merge.add_route(route("10.0.0.0/8", "rip"), stranger)
+
+
+class TestExtIntStage:
+    def setup_method(self):
+        self.extint = ExtIntStage("extint")
+        self.sink = SinkStage()
+        self.extint.set_next(self.sink)
+
+    def test_internal_passes(self):
+        r = route("10.0.0.0/8", "rip")
+        self.extint.add_route(r)
+        assert self.sink.current() == {r.net: r}
+
+    def test_unresolvable_external_held(self):
+        bgp = route("20.0.0.0/8", "ebgp", nexthop="1.1.1.1")
+        self.extint.add_route(bgp)
+        assert self.sink.current() == {}
+        assert bgp.net in self.extint.unresolved
+
+    def test_external_resolves_via_internal(self):
+        igp = route("1.1.1.0/24", "rip", nexthop="0.0.0.0")
+        self.extint.add_route(igp)
+        bgp = route("20.0.0.0/8", "ebgp", nexthop="1.1.1.1")
+        self.extint.add_route(bgp)
+        assert self.sink.current()[bgp.net] is bgp
+
+    def test_held_external_released_when_igp_appears(self):
+        bgp = route("20.0.0.0/8", "ebgp", nexthop="1.1.1.1")
+        self.extint.add_route(bgp)
+        self.extint.add_route(route("1.1.1.0/24", "rip"))
+        assert self.sink.current()[bgp.net] is bgp
+        assert not self.extint.unresolved
+
+    def test_external_withdrawn_when_igp_goes(self):
+        igp = route("1.1.1.0/24", "rip")
+        bgp = route("20.0.0.0/8", "ebgp", nexthop="1.1.1.1")
+        self.extint.add_route(igp)
+        self.extint.add_route(bgp)
+        self.extint.delete_route(igp)
+        assert bgp.net not in self.sink.current()
+        assert bgp.net in self.extint.unresolved
+
+    def test_delete_held_external(self):
+        bgp = route("20.0.0.0/8", "ebgp", nexthop="1.1.1.1")
+        self.extint.add_route(bgp)
+        self.extint.delete_route(bgp)
+        assert not self.extint.unresolved
+        assert self.sink.current() == {}
+
+    def test_lookup_consistent_with_announcements(self):
+        bgp = route("20.0.0.0/8", "ebgp", nexthop="1.1.1.1")
+        self.extint.add_route(bgp)
+        assert self.extint.lookup_route(bgp.net) is None  # held, not announced
+        self.extint.add_route(route("1.1.1.0/24", "rip"))
+        assert self.extint.lookup_route(bgp.net) is bgp
+
+    def test_replace_internal(self):
+        old = route("10.0.0.0/8", "rip", metric=2)
+        new = route("10.0.0.0/8", "rip", metric=5)
+        self.extint.add_route(old)
+        self.extint.replace_route(old, new)
+        assert self.sink.current()[new.net] is new
+
+
+class TestRedistStage:
+    def setup_method(self):
+        self.redist = RedistStage("redist")
+        self.sink = SinkStage()
+        self.redist.set_next(self.sink)
+        self.events = []
+
+    def _target(self, protocol):
+        self.redist.add_target(
+            "t", lambda r: r.protocol == protocol,
+            lambda op, r: self.events.append((op, r)))
+
+    def test_matching_routes_redistributed(self):
+        self._target("rip")
+        rip = route("10.0.0.0/8", "rip")
+        static = route("11.0.0.0/8", "static")
+        self.redist.add_route(rip)
+        self.redist.add_route(static)
+        assert self.events == [("add", rip)]
+
+    def test_initial_dump(self):
+        rip = route("10.0.0.0/8", "rip")
+        self.redist.add_route(rip)
+        self._target("rip")
+        assert self.events == [("add", rip)]
+
+    def test_delete_propagates(self):
+        self._target("rip")
+        rip = route("10.0.0.0/8", "rip")
+        self.redist.add_route(rip)
+        self.redist.delete_route(rip)
+        assert self.events == [("add", rip), ("delete", rip)]
+
+    def test_replace_crossing_predicate(self):
+        self._target("rip")
+        rip = route("10.0.0.0/8", "rip")
+        static = route("10.0.0.0/8", "static")
+        self.redist.add_route(rip)
+        self.redist.replace_route(rip, static)  # no longer matches
+        assert self.events == [("add", rip), ("delete", rip)]
+        self.redist.replace_route(static, rip)  # matches again
+        assert self.events[-1] == ("add", rip)
+
+    def test_messages_still_flow_downstream(self):
+        self._target("rip")
+        rip = route("10.0.0.0/8", "rip")
+        self.redist.add_route(rip)
+        assert self.sink.current() == {rip.net: rip}
+
+    def test_remove_target(self):
+        self._target("rip")
+        self.redist.remove_target("t")
+        self.redist.add_route(route("10.0.0.0/8", "rip"))
+        assert self.events == []
+
+
+class TestRegisterStage:
+    """Paper §5.2.1 / Figure 8 semantics."""
+
+    def setup_method(self):
+        self.invalidations = []
+        self.register = RegisterStage(
+            "reg", invalidate_cb=lambda c, s: self.invalidations.append((c, s)))
+        for prefix in ("128.16.0.0/16", "128.16.0.0/18",
+                       "128.16.128.0/17", "128.16.192.0/18"):
+            self.register.add_route(route(prefix, "rip"))
+
+    def test_figure8_simple_case(self):
+        """128.16.32.1 matches 128.16.0.0/18, valid for the whole /18."""
+        subnet, matched = self.register.register_interest(
+            "bgp", IPv4("128.16.32.1"))
+        assert matched.net == net("128.16.0.0/18")
+        assert subnet == net("128.16.0.0/18")
+
+    def test_figure8_overlaid_case(self):
+        """128.16.160.1 matches 128.16.128.0/17, but the /17 is overlaid by
+        128.16.192.0/18, so the answer is valid only for 128.16.128.0/18."""
+        subnet, matched = self.register.register_interest(
+            "bgp", IPv4("128.16.160.1"))
+        assert matched.net == net("128.16.128.0/17")
+        assert subnet == net("128.16.128.0/18")
+
+    def test_no_route_case(self):
+        subnet, matched = self.register.register_interest(
+            "bgp", IPv4("1.2.3.4"))
+        assert matched is None
+        # The valid subnet must not contain any existing route.
+        for existing in ("128.16.0.0/16", "128.16.0.0/18"):
+            assert not subnet.contains(net(existing))
+        assert subnet.contains_addr(IPv4("1.2.3.4"))
+
+    def test_valid_subnets_never_overlap(self):
+        addrs = ["128.16.32.1", "128.16.160.1", "128.16.192.1",
+                 "128.16.64.1", "1.2.3.4", "128.16.255.255"]
+        subnets = [self.register.register_interest("bgp", IPv4(a))[0]
+                   for a in addrs]
+        for i, a in enumerate(subnets):
+            for b in subnets[i + 1:]:
+                assert not a.overlaps(b) or a == b
+
+    def test_invalidation_on_overlapping_change(self):
+        subnet, __ = self.register.register_interest("bgp", IPv4("128.16.32.1"))
+        self.register.add_route(route("128.16.32.0/24", "static"))
+        assert ("bgp", subnet) in self.invalidations
+
+    def test_no_invalidation_for_unrelated_change(self):
+        self.register.register_interest("bgp", IPv4("128.16.32.1"))
+        self.register.add_route(route("99.0.0.0/8", "static"))
+        assert self.invalidations == []
+
+    def test_invalidation_on_delete(self):
+        subnet, matched = self.register.register_interest(
+            "bgp", IPv4("128.16.32.1"))
+        self.register.delete_route(matched)
+        assert ("bgp", subnet) in self.invalidations
+
+    def test_reregistration_after_invalidation(self):
+        subnet, __ = self.register.register_interest("bgp", IPv4("128.16.32.1"))
+        self.register.add_route(route("128.16.32.0/24", "static"))
+        new_subnet, matched = self.register.register_interest(
+            "bgp", IPv4("128.16.32.1"))
+        assert matched.net == net("128.16.32.0/24")
+
+    def test_multiple_clients_share_registration(self):
+        s1, __ = self.register.register_interest("bgp", IPv4("128.16.32.1"))
+        s2, __ = self.register.register_interest("pim", IPv4("128.16.32.1"))
+        assert s1 == s2
+        self.register.add_route(route("128.16.32.0/24", "static"))
+        clients = {c for c, __ in self.invalidations}
+        assert clients == {"bgp", "pim"}
+
+    def test_deregister(self):
+        subnet, __ = self.register.register_interest("bgp", IPv4("128.16.32.1"))
+        assert self.register.deregister_interest("bgp", subnet)
+        self.register.add_route(route("128.16.32.0/24", "static"))
+        assert self.invalidations == []
+
+    def test_lookup_by_dest(self):
+        assert self.register.lookup_by_dest(IPv4("128.16.200.1")).net == \
+            net("128.16.192.0/18")
+        assert self.register.lookup_by_dest(IPv4("9.9.9.9")) is None
+
+    def test_host_route_interest(self):
+        self.register.add_route(route("5.5.5.5/32", "static"))
+        subnet, matched = self.register.register_interest("x", IPv4("5.5.5.5"))
+        assert subnet == net("5.5.5.5/32")
+        assert matched.net == net("5.5.5.5/32")

@@ -1,0 +1,195 @@
+"""Fault injection and robustness: corrupt wire data, dead transports,
+IPv6 paths, hold timers over real session plumbing."""
+
+import pytest
+
+from repro.bgp import BgpProcess, BgpState
+from repro.bgp.peer import PeerConfig
+from repro.bgp.session import session_pair
+from repro.core.process import Host
+from repro.eventloop import EventLoop, SimulatedClock, SystemClock
+from repro.net import IPNet, IPv4, IPv6
+from repro.xrl import Finder, Xrl, XrlArgs, XrlRouter
+from repro.xrl.error import XrlErrorCode
+
+
+def bgp_pair(loop, holdtime=90):
+    host_a, host_b = Host(loop=loop), Host(loop=loop)
+    bgp_a = BgpProcess(host_a, local_as=65001, bgp_id=IPv4("1.1.1.1"),
+                       rib_target=None)
+    bgp_b = BgpProcess(host_b, local_as=65002, bgp_id=IPv4("2.2.2.2"),
+                       rib_target=None)
+    peer_a = bgp_a.add_peer(PeerConfig(IPv4("10.0.0.2"), 65002, 65001,
+                                       IPv4("10.0.0.1"), holdtime=holdtime))
+    peer_b = bgp_b.add_peer(PeerConfig(IPv4("10.0.0.1"), 65001, 65002,
+                                       IPv4("10.0.0.2"), holdtime=holdtime))
+    s1, s2 = session_pair(loop, 0.001)
+    peer_a.attach_session(s1)
+    peer_b.attach_session(s2)
+    peer_a.enable()
+    peer_b.enable()
+    assert loop.run_until(
+        lambda: peer_a.fsm.state == BgpState.ESTABLISHED
+        and peer_b.fsm.state == BgpState.ESTABLISHED, timeout=60)
+    return bgp_a, bgp_b, peer_a, peer_b, s1, s2
+
+
+class TestBgpWireRobustness:
+    def test_corrupt_marker_triggers_notification_and_reset(self):
+        loop = EventLoop(SimulatedClock())
+        bgp_a, bgp_b, peer_a, peer_b, s1, s2 = bgp_pair(loop)
+        # Inject garbage into B's receive path (desynchronised marker).
+        s1.send(b"\x00" * 19)
+        loop.run_until(lambda: peer_b.fsm.state != BgpState.ESTABLISHED,
+                       timeout=30)
+        assert peer_b.fsm.state != BgpState.ESTABLISHED
+        # Both sides eventually re-establish via connect-retry.
+        assert loop.run_until(
+            lambda: peer_a.fsm.state == BgpState.ESTABLISHED
+            and peer_b.fsm.state == BgpState.ESTABLISHED, timeout=300)
+
+    def test_truncated_stream_does_not_crash(self):
+        loop = EventLoop(SimulatedClock())
+        bgp_a, bgp_b, peer_a, peer_b, s1, s2 = bgp_pair(loop)
+        from repro.bgp.messages import KeepaliveMessage
+
+        frame = KeepaliveMessage().encode()
+        # Send the first half now; the second half later: must reassemble.
+        s1.send(frame[:7])
+        loop.run(duration=1)
+        s1.send(frame[7:])
+        loop.run(duration=1)
+        assert peer_b.fsm.state == BgpState.ESTABLISHED
+
+    def test_hold_timer_over_real_sessions(self):
+        """Kill the wire silently: hold timers fire on both sides."""
+        loop = EventLoop(SimulatedClock())
+        bgp_a, bgp_b, peer_a, peer_b, s1, s2 = bgp_pair(loop, holdtime=30)
+        # Sever delivery without close notifications.
+        s1._peer = None
+        s2._peer = None
+        assert loop.run_until(
+            lambda: peer_a.fsm.state != BgpState.ESTABLISHED
+            and peer_b.fsm.state != BgpState.ESTABLISHED, timeout=120)
+
+    def test_session_down_withdraws_from_rib_stream(self):
+        loop = EventLoop(SimulatedClock())
+        bgp_a, bgp_b, peer_a, peer_b, s1, s2 = bgp_pair(loop)
+        bgp_a.xrl_originate_route4(IPNet.parse("99.0.0.0/8"),
+                                   IPv4("10.0.0.1"), True)
+        assert loop.run_until(lambda: bgp_b.decision.route_count == 1,
+                              timeout=30)
+        peer_a.disable()
+        assert loop.run_until(lambda: bgp_b.decision.route_count == 0,
+                              timeout=120)
+
+
+class TestXrlTransportRobustness:
+    def test_tcp_server_vanishes_mid_conversation(self):
+        loop = EventLoop(SystemClock())
+        finder = Finder()
+        from repro.xrl.transport import TcpFamily
+
+        family = TcpFamily()
+        server = XrlRouter(loop, "svc", finder, families=[family])
+        server.register_raw_method("svc/1.0/ping", lambda args: None)
+        client = XrlRouter(loop, "cli", finder, families=[family])
+        error, __ = client.send_sync(Xrl("svc", "svc", "1.0", "ping"),
+                                     timeout=10)
+        assert error.is_okay
+        server.shutdown()
+        # The cached sender's socket dies; the client must surface an
+        # error (resolve failure after deregistration) rather than hang.
+        error, __ = client.send_sync(Xrl("svc", "svc", "1.0", "ping"),
+                                     timeout=10)
+        assert not error.is_okay
+
+    def test_tcp_large_payload_fragmentation(self):
+        loop = EventLoop(SystemClock())
+        finder = Finder()
+        from repro.xrl.transport import TcpFamily
+
+        family = TcpFamily()
+        server = XrlRouter(loop, "svc", finder, families=[family])
+        received = []
+
+        def handler(args):
+            received.append(len(args.get_binary("blob")))
+            return None
+
+        server.register_raw_method("svc/1.0/put", handler)
+        client = XrlRouter(loop, "cli", finder, families=[family])
+        blob = bytes(range(256)) * 2000  # 512 KB, many TCP segments
+        args = XrlArgs().add_binary("blob", blob)
+        error, __ = client.send_sync(Xrl("svc", "svc", "1.0", "put", args),
+                                     timeout=30)
+        assert error.is_okay
+        assert received == [len(blob)]
+
+    def test_resolution_error_does_not_poison_cache(self):
+        loop = EventLoop(SimulatedClock())
+        host = Host(loop=loop)
+        from repro.core.process import XorpProcess
+
+        client_process = XorpProcess(host, "cp")
+        client = client_process.create_router("cli")
+        error, __ = client.send_sync(Xrl("late", "svc", "1.0", "ping"),
+                                     timeout=5)
+        assert error.code == XrlErrorCode.RESOLVE_FAILED
+        # The target appears later: the same XRL now succeeds.
+        server_process = XorpProcess(host, "sp")
+        server = server_process.create_router("late")
+        server.register_raw_method("svc/1.0/ping", lambda args: None)
+        error, __ = client.send_sync(Xrl("late", "svc", "1.0", "ping"),
+                                     timeout=5)
+        assert error.is_okay
+
+
+class TestIpv6Paths:
+    def test_rib_v6_route_to_fib(self):
+        from repro.fea import FeaProcess
+        from repro.rib import RibProcess
+
+        host = Host()
+        fea = FeaProcess(host)
+        rib = RibProcess(host)
+        from repro.core.process import XorpProcess
+
+        process = XorpProcess(host, "tester")
+        client = process.create_router("tester")
+        args = (XrlArgs().add_txt("protocol", "static")
+                .add_ipv6net("net", "2001:db8::/32")
+                .add_ipv6("nexthop", "fe80::1")
+                .add_u32("metric", 1).add_list("policytags", []))
+        error, __ = client.send_sync(
+            Xrl("rib", "rib", "1.0", "add_route6", args), timeout=10)
+        assert error.is_okay, error
+        assert host.loop.run_until(
+            lambda: fea.fib6.lookup(IPv6("2001:db8::42")) is not None,
+            timeout=10)
+        # And delete.
+        del_args = (XrlArgs().add_txt("protocol", "static")
+                    .add_ipv6net("net", "2001:db8::/32"))
+        error, __ = client.send_sync(
+            Xrl("rib", "rib", "1.0", "delete_route6", del_args), timeout=10)
+        assert error.is_okay
+        assert host.loop.run_until(
+            lambda: fea.fib6.lookup(IPv6("2001:db8::42")) is None, timeout=10)
+
+    def test_v6_admin_distance_arbitration(self):
+        from repro.fea import FeaProcess
+        from repro.rib import RibProcess
+
+        host = Host()
+        fea = FeaProcess(host)
+        rib = RibProcess(host)
+        rib.xrl_add_igp_table6("rip")
+        from repro.net import IPNet as Net
+
+        rib.xrl_add_route6("rip", Net.parse("2001:db8::/32"),
+                           IPv6("fe80::1"), 5, [])
+        rib.xrl_add_route6("static", Net.parse("2001:db8::/32"),
+                           IPv6("fe80::2"), 1, [])
+        host.loop.run_until(lambda: False, timeout=1)
+        entry = fea.fib6.lookup(IPv6("2001:db8::1"))
+        assert entry is not None and entry.nexthop == IPv6("fe80::2")

@@ -1,0 +1,334 @@
+"""Unit and property tests for the Patricia trie and its safe iterators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import IPNet, IPv4, IPv6
+from repro.trie import RouteTrie
+
+
+def net(text):
+    return IPNet.parse(text)
+
+
+@pytest.fixture
+def trie():
+    return RouteTrie(32)
+
+
+class TestInsertLookup:
+    def test_empty(self, trie):
+        assert len(trie) == 0
+        assert trie.exact(net("10.0.0.0/8")) is None
+        assert trie.best_match(IPv4("10.0.0.1")) is None
+
+    def test_insert_and_exact(self, trie):
+        trie.insert(net("10.0.0.0/8"), "a")
+        assert trie.exact(net("10.0.0.0/8")) == "a"
+        assert len(trie) == 1
+
+    def test_replace_returns_old(self, trie):
+        assert trie.insert(net("10.0.0.0/8"), "a") is None
+        assert trie.insert(net("10.0.0.0/8"), "b") == "a"
+        assert trie.exact(net("10.0.0.0/8")) == "b"
+        assert len(trie) == 1
+
+    def test_exact_does_not_match_cover(self, trie):
+        trie.insert(net("10.0.0.0/8"), "a")
+        assert trie.exact(net("10.0.0.0/16")) is None
+        assert trie.exact(net("10.1.0.0/16")) is None
+
+    def test_contains(self, trie):
+        trie.insert(net("10.0.0.0/8"), "a")
+        assert net("10.0.0.0/8") in trie
+        assert net("10.0.0.0/9") not in trie
+
+    def test_default_route(self, trie):
+        trie.insert(net("0.0.0.0/0"), "default")
+        assert trie.exact(net("0.0.0.0/0")) == "default"
+        assert trie.best_match(IPv4("1.2.3.4")) == (net("0.0.0.0/0"), "default")
+
+    def test_host_route(self, trie):
+        trie.insert(net("1.2.3.4/32"), "host")
+        assert trie.best_match(IPv4("1.2.3.4")) == (net("1.2.3.4/32"), "host")
+        assert trie.best_match(IPv4("1.2.3.5")) is None
+
+    def test_rejects_wrong_family(self, trie):
+        with pytest.raises(ValueError):
+            trie.insert(IPNet.parse("::/0"), "x")
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            RouteTrie(64)
+
+    def test_ipv6_trie(self):
+        t6 = RouteTrie(128)
+        t6.insert(net("2001:db8::/32"), "v6")
+        assert t6.best_match(IPv6("2001:db8::1")) == (net("2001:db8::/32"), "v6")
+
+
+class TestBestMatch:
+    def test_paper_figure8_topology(self, trie):
+        """The exact route set from paper Figure 8."""
+        for prefix in ("128.16.0.0/16", "128.16.0.0/18",
+                       "128.16.128.0/17", "128.16.192.0/18"):
+            trie.insert(net(prefix), prefix)
+        assert trie.best_match(IPv4("128.16.32.1"))[0] == net("128.16.0.0/18")
+        assert trie.best_match(IPv4("128.16.160.1"))[0] == net("128.16.128.0/17")
+        assert trie.best_match(IPv4("128.16.192.1"))[0] == net("128.16.192.0/18")
+        assert trie.best_match(IPv4("128.16.64.1"))[0] == net("128.16.0.0/16")
+
+    def test_more_specific_wins(self, trie):
+        trie.insert(net("10.0.0.0/8"), "short")
+        trie.insert(net("10.1.0.0/16"), "long")
+        assert trie.best_match(IPv4("10.1.2.3"))[1] == "long"
+        assert trie.best_match(IPv4("10.2.2.3"))[1] == "short"
+
+    def test_covering(self, trie):
+        trie.insert(net("0.0.0.0/0"), "d")
+        trie.insert(net("10.0.0.0/8"), "a")
+        trie.insert(net("10.1.0.0/16"), "b")
+        trie.insert(net("11.0.0.0/8"), "c")
+        covers = [str(n) for n, __ in trie.covering(net("10.1.2.0/24"))]
+        assert covers == ["0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16"]
+
+    def test_find_less_specific_is_strict(self, trie):
+        trie.insert(net("10.0.0.0/8"), "a")
+        trie.insert(net("10.1.0.0/16"), "b")
+        assert trie.find_less_specific(net("10.1.0.0/16"))[1] == "a"
+        assert trie.find_less_specific(net("10.0.0.0/8")) is None
+
+    def test_covered(self, trie):
+        for prefix in ("10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "11.0.0.0/8"):
+            trie.insert(net(prefix), prefix)
+        inside = sorted(str(n) for n, __ in trie.covered(net("10.0.0.0/8")))
+        assert inside == ["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"]
+
+    def test_has_more_specific(self, trie):
+        trie.insert(net("10.0.0.0/8"), "a")
+        assert not trie.has_more_specific(net("10.0.0.0/8"))
+        trie.insert(net("10.1.0.0/16"), "b")
+        assert trie.has_more_specific(net("10.0.0.0/8"))
+        assert not trie.has_more_specific(net("10.2.0.0/15"))
+
+
+class TestRemoval:
+    def test_remove(self, trie):
+        trie.insert(net("10.0.0.0/8"), "a")
+        assert trie.remove(net("10.0.0.0/8")) == "a"
+        assert len(trie) == 0
+        assert trie.exact(net("10.0.0.0/8")) is None
+
+    def test_remove_missing_raises(self, trie):
+        with pytest.raises(KeyError):
+            trie.remove(net("10.0.0.0/8"))
+
+    def test_discard_missing_ok(self, trie):
+        assert trie.discard(net("10.0.0.0/8")) is None
+
+    def test_remove_keeps_siblings(self, trie):
+        trie.insert(net("10.0.0.0/16"), "a")
+        trie.insert(net("10.1.0.0/16"), "b")
+        trie.remove(net("10.0.0.0/16"))
+        assert trie.exact(net("10.1.0.0/16")) == "b"
+        assert trie.best_match(IPv4("10.1.0.1"))[1] == "b"
+
+    def test_remove_intermediate_keeps_descendants(self, trie):
+        trie.insert(net("10.0.0.0/8"), "a")
+        trie.insert(net("10.1.0.0/16"), "b")
+        trie.remove(net("10.0.0.0/8"))
+        assert trie.best_match(IPv4("10.1.0.1"))[1] == "b"
+        assert trie.best_match(IPv4("10.2.0.1")) is None
+
+    def test_clear(self, trie):
+        for i in range(10):
+            trie.insert(net(f"10.{i}.0.0/16"), i)
+        trie.clear()
+        assert len(trie) == 0
+        assert list(trie.items()) == []
+
+
+class TestIterationOrder:
+    def test_items_sorted(self, trie):
+        prefixes = ["10.1.0.0/16", "10.0.0.0/8", "9.0.0.0/8",
+                    "10.1.2.0/24", "128.0.0.0/1", "0.0.0.0/0"]
+        for p in prefixes:
+            trie.insert(net(p), p)
+        got = [str(n) for n, __ in trie.items()]
+        assert got == sorted(prefixes, key=lambda p: net(p).key())
+
+    def test_scoped_iterator(self, trie):
+        for p in ("10.0.0.0/8", "10.1.0.0/16", "11.0.0.0/8", "10.1.2.0/24"):
+            trie.insert(net(p), p)
+        it = trie.iterator(start=net("10.0.0.0/8"))
+        seen = []
+        while it.valid:
+            seen.append(str(it.net))
+            it.advance()
+        assert seen == ["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"]
+
+    def test_scoped_iterator_empty_scope(self, trie):
+        trie.insert(net("10.0.0.0/8"), "a")
+        it = trie.iterator(start=net("11.0.0.0/8"))
+        assert not it.valid
+
+
+class TestSafeIterators:
+    def test_delete_under_parked_iterator(self, trie):
+        """Paper §5.3: the node is invalidated but the iterator survives."""
+        for p in ("10.0.0.0/8", "11.0.0.0/8", "12.0.0.0/8"):
+            trie.insert(net(p), p)
+        it = trie.iterator()
+        assert str(it.net) == "10.0.0.0/8"
+        trie.remove(net("10.0.0.0/8"))
+        assert not it.valid  # payload invalidated...
+        assert it.advance()  # ...but advancing still works
+        assert str(it.net) == "11.0.0.0/8"
+
+    def test_last_iterator_performs_deletion(self, trie):
+        trie.insert(net("10.0.0.0/8"), "a")
+        trie.insert(net("11.0.0.0/8"), "b")
+        it = trie.iterator()
+        node = it._node
+        trie.remove(net("10.0.0.0/8"))
+        assert node.parent is not None  # still plumbed in
+        it.advance()
+        assert node.parent is None  # reclaimed by the departing iterator
+
+    def test_two_iterators_same_node(self, trie):
+        trie.insert(net("10.0.0.0/8"), "a")
+        trie.insert(net("11.0.0.0/8"), "b")
+        it1 = trie.iterator()
+        it2 = trie.iterator()
+        node = it1._node
+        trie.remove(net("10.0.0.0/8"))
+        it1.advance()
+        assert node.parent is not None  # it2 still refs the node
+        it2.advance()
+        assert node.parent is None
+
+    def test_insert_ahead_of_iterator_is_seen(self, trie):
+        trie.insert(net("10.0.0.0/8"), "a")
+        trie.insert(net("30.0.0.0/8"), "c")
+        it = trie.iterator()
+        trie.insert(net("20.0.0.0/8"), "b")
+        seen = []
+        while it.valid:
+            seen.append(str(it.net))
+            it.advance()
+        assert seen == ["10.0.0.0/8", "20.0.0.0/8", "30.0.0.0/8"]
+
+    def test_close_releases_refs(self, trie):
+        trie.insert(net("10.0.0.0/8"), "a")
+        with trie.iterator() as it:
+            node = it._node
+            assert node.iter_refs == 1
+        assert node.iter_refs == 0
+        it.close()  # idempotent
+
+    def test_exhausted_iterator_raises_on_access(self, trie):
+        it = trie.iterator()
+        with pytest.raises(StopIteration):
+            __ = it.net
+        with pytest.raises(StopIteration):
+            __ = it.payload
+
+    def test_massive_churn_while_parked(self, trie):
+        for i in range(64):
+            trie.insert(net(f"10.{i}.0.0/16"), i)
+        it = trie.iterator()
+        # park after the first route, then churn everything behind and ahead
+        it.advance()
+        for i in range(64):
+            trie.discard(net(f"10.{i}.0.0/16"))
+        for i in range(64):
+            trie.insert(net(f"172.{i}.0.0/16"), i)
+        count = 0
+        while not it.exhausted:
+            if it.valid:
+                count += 1
+            it.advance()
+        assert count == 64  # all the new routes, none of the deleted ones
+
+
+# -- property tests against a dict oracle --------------------------------
+
+prefix_strategy = st.builds(
+    lambda v, p: IPNet(IPv4(v), p),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+)
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["insert", "remove"]), prefix_strategy,
+              st.integers()),
+    max_size=80,
+)
+
+
+class TestPropertyOracle:
+    @settings(max_examples=60)
+    @given(ops_strategy)
+    def test_matches_dict_oracle(self, ops):
+        trie = RouteTrie(32)
+        oracle = {}
+        for op, prefix, payload in ops:
+            if op == "insert":
+                trie.insert(prefix, payload)
+                oracle[prefix] = payload
+            else:
+                trie.discard(prefix)
+                oracle.pop(prefix, None)
+        assert len(trie) == len(oracle)
+        for prefix, payload in oracle.items():
+            assert trie.exact(prefix) == payload
+        got = list(trie.items())
+        assert [n for n, __ in got] == sorted(oracle, key=lambda n: n.key())
+
+    @settings(max_examples=60)
+    @given(st.lists(prefix_strategy, min_size=1, max_size=40),
+           st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_best_match_matches_linear_scan(self, prefixes, addr_value):
+        trie = RouteTrie(32)
+        for i, p in enumerate(prefixes):
+            trie.insert(p, i)
+        addr = IPv4(addr_value)
+        expected = None
+        for p in set(prefixes):
+            if p.contains_addr(addr):
+                if expected is None or p.prefix_len > expected.prefix_len:
+                    expected = p
+        got = trie.best_match(addr)
+        if expected is None:
+            assert got is None
+        else:
+            assert got[0] == expected
+
+    @settings(max_examples=40)
+    @given(st.lists(prefix_strategy, min_size=1, max_size=30), prefix_strategy)
+    def test_covered_matches_linear_scan(self, prefixes, probe):
+        trie = RouteTrie(32)
+        for p in prefixes:
+            trie.insert(p, str(p))
+        got = sorted(str(n) for n, __ in trie.covered(probe))
+        expected = sorted(str(p) for p in set(prefixes) if probe.contains(p))
+        assert got == expected
+
+    @settings(max_examples=40)
+    @given(st.lists(prefix_strategy, min_size=2, max_size=30))
+    def test_iterator_survives_interleaved_deletion(self, prefixes):
+        trie = RouteTrie(32)
+        for p in prefixes:
+            trie.insert(p, str(p))
+        it = trie.iterator()
+        seen = []
+        victims = list(set(prefixes))
+        while it.valid:
+            seen.append(it.net)
+            if victims:
+                trie.discard(victims.pop())
+            it.advance()
+        # Everything yielded must be unique and ordered.
+        keys = [n.key() for n in seen]
+        assert keys == sorted(set(keys))

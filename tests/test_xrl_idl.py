@@ -1,0 +1,122 @@
+"""Tests for the XRL IDL parser and signature checking."""
+
+import pytest
+
+from repro.xrl import IdlError, XrlArgs, XrlError, parse_idl
+
+SAMPLE = """
+/* The RIB interface. */
+interface rib/1.0 {
+    add_route    ? protocol:txt & net:ipv4net & nexthop:ipv4 & metric:u32;
+    delete_route ? protocol:txt & net:ipv4net;
+    lookup_route ? addr:ipv4 -> net:ipv4net & nexthop:ipv4 & metric:u32;
+    get_version  -> version:txt;
+    shutdown;
+}
+
+interface rib_client/0.1 {
+    route_info_changed ? addr:ipv4 & metric:u32;
+}
+"""
+
+
+class TestParsing:
+    def test_parses_interfaces(self):
+        interfaces = parse_idl(SAMPLE)
+        assert set(interfaces) == {"rib/1.0", "rib_client/0.1"}
+
+    def test_method_signatures(self):
+        rib = parse_idl(SAMPLE)["rib/1.0"]
+        add = rib.method("add_route")
+        assert [n for n, __ in add.params] == ["protocol", "net", "nexthop", "metric"]
+        assert add.returns == []
+        lookup = rib.method("lookup_route")
+        assert len(lookup.params) == 1
+        assert len(lookup.returns) == 3
+
+    def test_no_params_no_returns(self):
+        rib = parse_idl(SAMPLE)["rib/1.0"]
+        shutdown = rib.method("shutdown")
+        assert shutdown.params == [] and shutdown.returns == []
+
+    def test_returns_only(self):
+        rib = parse_idl(SAMPLE)["rib/1.0"]
+        assert rib.method("get_version").returns[0][0] == "version"
+
+    def test_unknown_method_raises(self):
+        rib = parse_idl(SAMPLE)["rib/1.0"]
+        with pytest.raises(XrlError):
+            rib.method("no_such")
+
+    def test_comments_stripped(self):
+        assert "rib/1.0" in parse_idl("/* hey */ interface rib/1.0 { m; }")
+
+    def test_empty_raises(self):
+        with pytest.raises(IdlError):
+            parse_idl("nothing here")
+
+    def test_unparsed_leftovers_raise(self):
+        with pytest.raises(IdlError):
+            parse_idl("interface a/1.0 { m; } garbage")
+
+    def test_bad_type_raises(self):
+        with pytest.raises(IdlError):
+            parse_idl("interface a/1.0 { m ? x:float; }")
+
+    def test_duplicate_param_raises(self):
+        with pytest.raises(IdlError):
+            parse_idl("interface a/1.0 { m ? x:u32 & x:u32; }")
+
+    def test_duplicate_method_raises(self):
+        with pytest.raises(IdlError):
+            parse_idl("interface a/1.0 { m; m; }")
+
+
+class TestSignatureChecks:
+    def setup_method(self):
+        self.method = parse_idl(SAMPLE)["rib/1.0"].method("add_route")
+
+    def test_good_args_pass(self):
+        args = (XrlArgs().add_txt("protocol", "rip")
+                .add_ipv4net("net", "10.0.0.0/8")
+                .add_ipv4("nexthop", "192.168.0.1").add_u32("metric", 2))
+        self.method.check_args(args)  # should not raise
+
+    def test_missing_arg_fails(self):
+        args = XrlArgs().add_txt("protocol", "rip")
+        with pytest.raises(XrlError):
+            self.method.check_args(args)
+
+    def test_wrong_type_fails(self):
+        args = (XrlArgs().add_txt("protocol", "rip")
+                .add_txt("net", "10.0.0.0/8")
+                .add_ipv4("nexthop", "192.168.0.1").add_u32("metric", 2))
+        with pytest.raises(XrlError):
+            self.method.check_args(args)
+
+    def test_extra_arg_fails(self):
+        args = (XrlArgs().add_txt("protocol", "rip")
+                .add_ipv4net("net", "10.0.0.0/8")
+                .add_ipv4("nexthop", "192.168.0.1").add_u32("metric", 2)
+                .add_u32("extra", 1))
+        with pytest.raises(XrlError):
+            self.method.check_args(args)
+
+    def test_build_args_coerces(self):
+        args = self.method.build_args({
+            "protocol": "static", "net": "10.0.0.0/8",
+            "nexthop": "1.2.3.4", "metric": 5,
+        })
+        assert args.get_u32("metric") == 5
+        self.method.check_args(args)
+
+    def test_build_args_rejects_extras(self):
+        with pytest.raises(XrlError):
+            self.method.build_args({"protocol": "x", "net": "10.0.0.0/8",
+                                    "nexthop": "1.2.3.4", "metric": 1,
+                                    "bogus": 9})
+
+    def test_build_returns_requires_all(self):
+        lookup = parse_idl(SAMPLE)["rib/1.0"].method("lookup_route")
+        with pytest.raises(XrlError):
+            lookup.build_returns({"net": "10.0.0.0/8"})
