@@ -71,6 +71,13 @@ class NexthopCache:
         self._entries.insert(index, entry)
         return entry
 
+    def clear(self) -> List[CacheEntry]:
+        """Drop every entry; return them (for re-query after RIB restart)."""
+        removed = self._entries
+        self._entries = []
+        self._starts = []
+        return removed
+
     def invalidate(self, subnet: IPNet) -> List[CacheEntry]:
         """Drop entries overlapping *subnet*; return them."""
         removed = []
@@ -142,6 +149,21 @@ class NexthopResolver:
         removed = self.cache.invalidate(subnet)
         affected: Set[int] = set()
         for entry in removed:
+            affected.update(entry.users)
+        for nexthop_value in sorted(affected):
+            nexthop = IPv4(nexthop_value)
+            self.resolve(nexthop, lambda resolvable, metric, nh=nexthop:
+                         self._notify_stages(nh, resolvable, metric))
+
+    def requery_all(self) -> None:
+        """Flush the cache and re-resolve every nexthop that used it.
+
+        After a RIB restart the old interest registrations are gone, so
+        cached answers can never be refreshed; re-querying also
+        re-registers interest with the reborn RIB.
+        """
+        affected: Set[int] = set()
+        for entry in self.cache.clear():
             affected.update(entry.users)
         for nexthop_value in sorted(affected):
             nexthop = IPv4(nexthop_value)

@@ -41,6 +41,7 @@ class BgpProcess(XorpProcess):
                  bgp_id: Optional[IPv4] = None,
                  rib_target: Optional[str] = "rib",
                  window: int = 100,
+                 retry_policy=None,
                  debug_cache_stages: bool = False):
         super().__init__(host)
         self.local_as = local_as
@@ -52,7 +53,10 @@ class BgpProcess(XorpProcess):
         self.prof_ribin = self.profiler.create("route_ribin")
         self._prof_queued_rib = self.profiler.create("route_queued_rib")
         self._prof_sent_rib = self.profiler.create("route_sent_rib")
-        self.txq = XrlTransmitQueue(self.xrl, window=window)
+        #: opt-in retry for the idempotent RIB route stream / queries
+        self.retry_policy = retry_policy
+        self.txq = XrlTransmitQueue(self.xrl, window=window,
+                                    retry=retry_policy)
         self.peers: Dict[str, PeerHandler] = {}
 
         # Policy hooks; the policy process installs compiled filters here.
@@ -82,8 +86,13 @@ class BgpProcess(XorpProcess):
         self.xrl.bind(RIB_CLIENT_IDL, self)
         self.xrl.bind(PROFILER_IDL, self.profiler)
         self.xrl.bind(COMMON_IDL, self)
+        self._rib_down = False
         if rib_target is not None:
             self._register_rib_tables()
+            # Watch the RIB's lifetime: when it dies and comes back we
+            # must re-seed it (tables, interest, and every best route).
+            host.finder.watch(self._rib_watcher_name(), rib_target,
+                              self._rib_lifetime)
 
     # -- peer info for the decision process ------------------------------------
     def peer_info(self, peer_id: str) -> PeerInfo:
@@ -115,7 +124,39 @@ class BgpProcess(XorpProcess):
         for protocol in ("ebgp", "ibgp"):
             args = XrlArgs().add_txt("protocol", protocol)
             self.xrl.send(Xrl(self.rib_target, "rib", "1.0",
-                              "add_egp_table4", args))
+                              "add_egp_table4", args),
+                          retry=self.retry_policy)
+
+    def _rib_watcher_name(self) -> str:
+        return f"bgp-ribwatch:{self.xrl.instance_name}"
+
+    def _rib_lifetime(self, event: str, class_name: str,
+                      instance: str) -> None:
+        from repro.xrl.finder import BIRTH, DEATH
+
+        if event == DEATH:
+            self._rib_down = True
+        elif event == BIRTH and self._rib_down and self.running:
+            self._rib_down = False
+            # Deferred: at BIRTH the reborn RIB has registered its
+            # component but not yet bound its interfaces.
+            self.loop.call_soon(self.resync_rib)
+
+    def resync_rib(self) -> None:
+        """Re-seed a restarted RIB (the resync contract in DESIGN.md).
+
+        The new RIB has no ebgp/ibgp tables, no interest registrations,
+        and none of our routes: re-create the tables, re-query every
+        cached nexthop (which re-registers interest), and replay every
+        winner through a fresh dumping fanout reader.
+        """
+        if self.rib_target is None or not self.running:
+            return
+        self._rib_protocol.clear()
+        self._register_rib_tables()
+        self.resolver.requery_all()
+        self.fanout.remove_reader("__rib__")
+        self.fanout.add_reader("__rib__", self._rib_deliver, dump=True)
 
     def _query_rib_nexthop(self, nexthop: IPv4, reply_cb) -> None:
         """register_interest4 with the RIB; synthetic answer without one."""
@@ -135,7 +176,7 @@ class BgpProcess(XorpProcess):
                      response.get_bool("resolves"),
                      response.get_u32("metric"))
 
-        self.xrl.send(xrl, completion)
+        self.xrl.send(xrl, completion, retry=self.retry_policy)
 
     def _route_protocol(self, route: Any) -> str:
         return "ibgp" if self.peer_info(route.peer_id).is_ibgp else "ebgp"
@@ -315,4 +356,7 @@ class BgpProcess(XorpProcess):
     def shutdown(self) -> None:
         for handler in list(self.peers.values()):
             handler.tear_down()
+        if self.rib_target is not None:
+            self.host.finder.unwatch(self._rib_watcher_name(),
+                                     self.rib_target)
         super().shutdown()

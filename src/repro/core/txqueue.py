@@ -16,14 +16,23 @@ from collections import deque
 from typing import Callable, Deque, Optional, Tuple
 
 from repro.xrl import XrlArgs, XrlError, XrlRouter
+from repro.xrl.retry import RetryPolicy
 from repro.xrl.xrl import Xrl
 
 
 class XrlTransmitQueue:
-    """Window-limited pipelined sender of XRLs to one or more targets."""
+    """Window-limited pipelined sender of XRLs to one or more targets.
+
+    *retry* and *deadline* are handed through to every
+    :meth:`XrlRouter.send`.  Route streams (BGP → RIB, RIB → FEA) are
+    idempotent, so queues carrying them opt in to retries: a dropped frame
+    then costs one backoff instead of wedging the window forever.
+    """
 
     def __init__(self, router: XrlRouter, *, window: int = 100,
-                 on_error: Optional[Callable[[Xrl, XrlError], None]] = None):
+                 on_error: Optional[Callable[[Xrl, XrlError], None]] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 deadline: Optional[float] = None):
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self._router = router
@@ -31,6 +40,8 @@ class XrlTransmitQueue:
         self._queue: Deque[Tuple[Xrl, Optional[Callable], Optional[Callable]]] = deque()
         self._inflight = 0
         self._on_error = on_error
+        self._retry = retry
+        self._deadline = deadline
         self.sent_count = 0
 
     def __len__(self) -> int:
@@ -59,7 +70,8 @@ class XrlTransmitQueue:
             self.sent_count += 1
             if on_sent is not None:
                 on_sent()
-            self._router.send(xrl, self._completion(xrl, on_reply))
+            self._router.send(xrl, self._completion(xrl, on_reply),
+                              retry=self._retry, deadline=self._deadline)
 
     def _completion(self, xrl: Xrl, on_reply) -> Callable:
         def done(error: XrlError, args: XrlArgs) -> None:

@@ -11,19 +11,24 @@ One module per experiment family:
   delay through a router under test (XORP stack vs. event-driven and
   30-second-scanner baselines);
 * :mod:`repro.experiments.synth`     — synthetic backbone feed generator
-  (the stand-in for the paper's 146,515-route Internet feed).
+  (the stand-in for the paper's 146,515-route Internet feed);
+* :mod:`repro.experiments.recovery`  — supervised crash recovery: kill
+  BGP mid-session under seeded frame loss, measure time-to-reconverge.
 """
 
 from repro.experiments.synth import synthetic_feed
 from repro.experiments.xrlperf import XrlPerfResult, run_xrl_throughput
 from repro.experiments.latency import LatencyResult, run_latency_experiment
+from repro.experiments.recovery import RecoveryResult, run_recovery
 from repro.experiments.routeflow import RouteFlowResult, run_route_flow
 
 __all__ = [
     "LatencyResult",
+    "RecoveryResult",
     "RouteFlowResult",
     "XrlPerfResult",
     "run_latency_experiment",
+    "run_recovery",
     "run_route_flow",
     "run_xrl_throughput",
     "synthetic_feed",

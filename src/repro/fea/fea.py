@@ -61,6 +61,8 @@ class FeaProcess(XorpProcess):
         self.xrl.bind(FEA_MFIB_IDL, self)
         self.xrl.bind(PROFILER_IDL, self.profiler)
         self.xrl.bind(COMMON_IDL, self)
+        #: raw-socket creator classes whose lifetime we watch
+        self._socket_creators: set = set()
 
     def attach_packet_io(self, packet_io: PacketIO) -> None:
         self.relay = RawSocketRelay(packet_io)
@@ -136,6 +138,38 @@ class FeaProcess(XorpProcess):
             self._require_relay().open_udp(creator, ifname, port)
         except ValueError as exc:
             raise XrlError(XrlErrorCode.COMMAND_FAILED, str(exc)) from exc
+        self._watch_socket_creator(str(creator))
+
+    def _watch_socket_creator(self, creator: str) -> None:
+        """Close a creator's sockets when its last instance dies.
+
+        Without this, a crashed protocol's sockets would keep swallowing
+        packets — and its restarted incarnation could not re-open them.
+        """
+        if creator in self._socket_creators:
+            return
+        self._socket_creators.add(creator)
+        self.host.finder.watch(
+            self._socket_watcher_name(), creator,
+            lambda event, cls, instance, c=creator:
+                self._creator_lifetime(c, event))
+
+    def _socket_watcher_name(self) -> str:
+        return f"fea-sock:{self.xrl.instance_name}"
+
+    def _creator_lifetime(self, creator: str, event: str) -> None:
+        from repro.xrl.finder import DEATH
+
+        if (event == DEATH and self.running and self.relay is not None
+                and not self.host.finder.class_instances(creator)):
+            self.relay.close_all(creator)
+
+    def shutdown(self) -> None:
+        if self.running:
+            for creator in self._socket_creators:
+                self.host.finder.unwatch(self._socket_watcher_name(),
+                                         creator)
+        super().shutdown()
 
     def xrl_close_udp(self, creator, ifname, port) -> None:
         self._require_relay().close_udp(creator, ifname, port)

@@ -82,6 +82,18 @@ class RawSocketRelay:
             )
         self._open[key] = creator
 
+    def close_all(self, creator: str) -> list:
+        """Close every socket *creator* opened; return the (if, port) keys.
+
+        Run when the creator process dies: its sockets must not keep
+        swallowing (and mis-delivering) packets after it is gone.
+        """
+        closed = [key for key, owner in self._open.items()
+                  if owner == creator]
+        for key in closed:
+            del self._open[key]
+        return closed
+
     def close_udp(self, creator: str, ifname: str, port: int) -> None:
         key = (ifname, port)
         if self._open.get(key) == creator:

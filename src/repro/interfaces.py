@@ -21,6 +21,8 @@ interface rib/1.0 {
     add_igp_table6 ? protocol:txt;
     add_egp_table6 ? protocol:txt;
 
+    flush_table4   ? protocol:txt;
+
     add_route4     ? protocol:txt & net:ipv4net & nexthop:ipv4 & metric:u32 & policytags:list;
     replace_route4 ? protocol:txt & net:ipv4net & nexthop:ipv4 & metric:u32 & policytags:list;
     delete_route4  ? protocol:txt & net:ipv4net;

@@ -56,6 +56,19 @@ class RedistStage(RouteTableStage):
     def remove_target(self, name: str) -> None:
         self._targets.pop(name, None)
 
+    def resync_target(self, name: str) -> None:
+        """Re-dump every winner to *name* (its consumer was restarted).
+
+        The reborn consumer has empty state, so the announced-trie is
+        rebuilt from scratch rather than diffed against it.
+        """
+        target = self._targets.get(name)
+        if target is None:
+            return
+        target.announced = RouteTrie(self.bits)
+        for __, route in self.winners.items():
+            self._offer(target, route)
+
     def has_target(self, name: str) -> bool:
         return name in self._targets
 

@@ -114,7 +114,7 @@ class RibProcess(XorpProcess):
     BUILTIN_IGP_TABLES = ("connected", "static")
 
     def __init__(self, host: Host, *, fea_target: str = "fea",
-                 window: int = 100):
+                 window: int = 100, retry_policy=None):
         super().__init__(host)
         self.fea_target = fea_target
         self.xrl = self.create_router("rib", singleton=True)
@@ -122,7 +122,10 @@ class RibProcess(XorpProcess):
         self._prof_arrive = self.profiler.create("route_arrive_rib")
         self._prof_queued_fea = self.profiler.create("route_queued_fea")
         self._prof_sent_fea = self.profiler.create("route_sent_fea")
-        self.txq = XrlTransmitQueue(self.xrl, window=window)
+        #: opt-in retry for the idempotent FEA/redist route streams
+        self.retry_policy = retry_policy
+        self.txq = XrlTransmitQueue(self.xrl, window=window,
+                                    retry=retry_policy)
         self.v4 = _Pipeline(32, "4", self._emit_fea4, self._notify_invalid4)
         self.v6 = _Pipeline(128, "6", self._emit_fea6, lambda *a: None)
         for protocol in self.BUILTIN_IGP_TABLES:
@@ -132,6 +135,12 @@ class RibProcess(XorpProcess):
         self.xrl.bind(PROFILER_IDL, self.profiler)
         self.xrl.bind(COMMON_IDL, self)
         self._redist_targets: Dict[str, str] = {}
+        #: redist consumer classes we watch; value = death seen, resync due
+        self._redist_down: Dict[str, bool] = {}
+        self._fea_down = False
+        # Watch the FEA's lifetime so a reborn (empty) FIB is re-seeded.
+        host.finder.watch(self._watcher_name(), fea_target,
+                          self._fea_lifetime)
 
     # -- FEA distribution ----------------------------------------------------
     def _emit_fea4(self, op: str, route: Any) -> None:
@@ -157,6 +166,66 @@ class RibProcess(XorpProcess):
             args = XrlArgs().add_ipv6net("net", route.net)
             xrl = Xrl(self.fea_target, "fea_fib", "1.0", "delete_entry6", args)
         self.txq.enqueue(xrl)
+
+    # -- resync after consumer restarts (the DESIGN.md failure model) --------
+    def _watcher_name(self) -> str:
+        return f"rib-watch:{self.xrl.instance_name}"
+
+    def _fea_lifetime(self, event: str, class_name: str,
+                      instance: str) -> None:
+        from repro.xrl.finder import BIRTH, DEATH
+
+        if event == DEATH:
+            self._fea_down = True
+        elif event == BIRTH and self._fea_down and self.running:
+            self._fea_down = False
+            # Deferred past BIRTH: the reborn FEA binds its interfaces
+            # only after registering its component.
+            self.loop.call_soon(self.resync_fea)
+
+    def resync_fea(self) -> None:
+        """Replay every winning route at a restarted FEA."""
+        if not self.running:
+            return
+        for __, route in self.v4.redist.winners.items():
+            self._emit_fea4("add", route)
+        for __, route in self.v6.redist.winners.items():
+            self._emit_fea6("add", route)
+
+    def _watch_redist_class(self, target: str) -> None:
+        if target in self._redist_down:
+            return
+        self._redist_down[target] = False
+        self.host.finder.watch(
+            self._watcher_name(), target,
+            lambda event, cls, instance, t=target:
+                self._redist_lifetime(t, event))
+
+    def _redist_lifetime(self, target: str, event: str) -> None:
+        from repro.xrl.finder import BIRTH, DEATH
+
+        if event == DEATH:
+            self._redist_down[target] = True
+        elif event == BIRTH and self._redist_down.get(target) \
+                and self.running:
+            self._redist_down[target] = False
+            self.loop.call_soon(self._resync_redist, target)
+
+    def _resync_redist(self, target: str) -> None:
+        """Replay redistribution to a reborn consumer process."""
+        if not self.running:
+            return
+        for key, key_target in self._redist_targets.items():
+            if key_target == target:
+                self.v4.redist.resync_target(key)
+
+    def shutdown(self) -> None:
+        if self.running:
+            watcher = self._watcher_name()
+            self.host.finder.unwatch(watcher, self.fea_target)
+            for target in self._redist_down:
+                self.host.finder.unwatch(watcher, target)
+        super().shutdown()
 
     # -- invalidation notifications (paper §5.2.1) ----------------------------
     def _notify_invalid4(self, client: str, subnet: IPNet) -> None:
@@ -185,6 +254,20 @@ class RibProcess(XorpProcess):
             is_external=pipeline.external_protocols.get(protocol, False),
             policytags=tags,
         )
+
+    def xrl_flush_table4(self, protocol: str) -> None:
+        """Withdraw every route a (dead) protocol left behind.
+
+        The supervisor calls this on module death so stale routes do not
+        outlive their owner (§3: "the FEA will know precisely which
+        routes ... need to be removed").  Unknown protocols are a no-op —
+        the module may have died before creating its tables.
+        """
+        origin = self.v4.origins.get(protocol)
+        if origin is None:
+            return
+        for net in [net for net, __ in origin.routes.items()]:
+            origin.withdraw_if_present(net)
 
     def xrl_add_route4(self, protocol, net, nexthop, metric, policytags) -> None:
         self._prof_arrive.log(f"add {net}")
@@ -254,6 +337,7 @@ class RibProcess(XorpProcess):
         if self.v4.redist.has_target(key):
             return
         self._redist_targets[key] = target
+        self._watch_redist_class(target)
         self.v4.redist.add_target(
             key,
             predicate=lambda route: route.protocol == from_protocol,

@@ -15,12 +15,16 @@ Pieces:
 * :mod:`repro.rtrmgr.rtrmgr` — module lifecycle and commit: config
   changes are diffed and applied to the managed processes via XRLs, and
   Finder ACLs are installed for each started module (paper §7);
+* :mod:`repro.rtrmgr.supervisor` — the watchdog consuming Finder
+  birth/death watches: pings modules, flushes a dead module's RIB
+  routes, and restarts it with backoff and a storm budget (paper §3);
 * :mod:`repro.rtrmgr.cli` — a small scriptable command-line interface.
 """
 
 from repro.rtrmgr.cli import Cli
 from repro.rtrmgr.config_tree import ConfigError, ConfigTree
 from repro.rtrmgr.rtrmgr import RouterManager
+from repro.rtrmgr.supervisor import Supervisor, SupervisorPolicy
 from repro.rtrmgr.template import TemplateError, TemplateNode, parse_template
 
 __all__ = [
@@ -28,6 +32,8 @@ __all__ = [
     "ConfigError",
     "ConfigTree",
     "RouterManager",
+    "Supervisor",
+    "SupervisorPolicy",
     "TemplateError",
     "TemplateNode",
     "parse_template",

@@ -29,6 +29,7 @@ from repro.net import IPv4
 from repro.rtrmgr.config_tree import ConfigError, ConfigTree
 from repro.rtrmgr.template import DEFAULT_TEMPLATE, parse_template
 from repro.xrl import XrlArgs, XrlError
+from repro.xrl.retry import RetryPolicy
 from repro.xrl.xrl import Xrl
 
 #: Finder ACLs installed per module class (target classes it may resolve)
@@ -49,8 +50,11 @@ class CommitError(RuntimeError):
 class RouterManager(XorpProcess):
     process_name = "rtrmgr"
 
-    def __init__(self, host: Host, *, template_text: Optional[str] = None):
+    def __init__(self, host: Host, *, template_text: Optional[str] = None,
+                 module_retry: Optional["RetryPolicy"] = None):
         super().__init__(host)
+        #: retry policy handed to modules for their idempotent route streams
+        self.module_retry = module_retry
         self.template = parse_template(
             template_text if template_text is not None else DEFAULT_TEMPLATE)
         self.config = ConfigTree(self.template)      # candidate
@@ -100,7 +104,7 @@ class RouterManager(XorpProcess):
         bgp_id = self.config.get_value(["protocols", "bgp", "bgp-id"],
                                        IPv4("127.0.0.1"))
         return BgpProcess(self.host, local_as=int(local_as),
-                          bgp_id=IPv4(bgp_id))
+                          bgp_id=IPv4(bgp_id), retry_policy=self.module_retry)
 
     def _make_rip(self) -> XorpProcess:
         from repro.rip import RipProcess
@@ -164,6 +168,38 @@ class RouterManager(XorpProcess):
                 self.host.finder.set_acl(router.instance_name,
                                          allowed_targets=set(acl))
         return process
+
+    #: applier replayed per module by :meth:`reapply_module`
+    _MODULE_APPLIERS = {
+        "bgp": "_apply_bgp",
+        "static_routes": "_apply_static",
+        "rip": "_apply_rip",
+        "ospf": "_apply_ospf",
+        "pim": "_apply_pim",
+        "mld6igmp": "_apply_pim",
+    }
+
+    def restart_module(self, name: str) -> XorpProcess:
+        """Restart a dead (or wedged) module and replay its configuration.
+
+        The supervisor's entry point: tears down whatever is left of the
+        old instance, starts a fresh one through the normal factory, and
+        re-drives the committed configuration at it — the new process has
+        empty state, so the applier's diff re-adds every peer, route, and
+        policy it is supposed to carry.
+        """
+        old = self.modules.pop(name, None)
+        if old is not None and old.running:
+            old.shutdown()
+        self._start_module(name)
+        self.reapply_module(name)
+        return self.modules[name]
+
+    def reapply_module(self, name: str) -> None:
+        """Re-drive committed configuration at one (restarted) module."""
+        applier_name = self._MODULE_APPLIERS.get(name)
+        if applier_name is not None:
+            getattr(self, applier_name)()
 
     def commit(self) -> None:
         """Apply the candidate configuration; roll back on failure."""

@@ -18,6 +18,7 @@ from repro.xrl.args import XrlArgs
 from repro.xrl.error import XrlError, XrlErrorCode
 from repro.xrl.finder import Finder
 from repro.xrl.idl import XrlInterface, XrlMethod
+from repro.xrl.retry import RetryPolicy
 from repro.xrl.transport.base import (
     ProtocolFamily,
     Sender,
@@ -88,12 +89,47 @@ def new_process_token() -> int:
 
 
 class _CacheEntry:
-    __slots__ = ("resolved_method", "sender", "family_name")
+    __slots__ = ("resolved_method", "sender", "family_name", "address")
 
-    def __init__(self, resolved_method: str, sender: Sender, family_name: str):
+    def __init__(self, resolved_method: str, sender: Sender, family_name: str,
+                 address: str):
         self.resolved_method = resolved_method
         self.sender = sender
         self.family_name = family_name
+        self.address = address
+
+
+class _PendingCall:
+    """One in-flight :meth:`XrlRouter.send`, across all of its attempts.
+
+    The *attempt_token* identifies the newest dispatch: a reply carrying
+    a stale token (the attempt was abandoned by a per-attempt timeout, a
+    retry, or the overall deadline) is counted in
+    :attr:`XrlRouter.late_replies` and dropped rather than delivered to a
+    completed call.
+    """
+
+    __slots__ = ("xrl", "callback", "retry", "attempt", "attempt_token",
+                 "deadline_timer", "attempt_timer", "retry_timer", "done")
+
+    def __init__(self, xrl, callback: ResponseCallback,
+                 retry: Optional[RetryPolicy]):
+        self.xrl = xrl
+        self.callback = callback
+        self.retry = retry
+        self.attempt = 0
+        self.attempt_token: Optional[object] = None
+        self.deadline_timer = None
+        self.attempt_timer = None
+        self.retry_timer = None
+        self.done = False
+
+    def cancel_timers(self) -> None:
+        for timer in (self.deadline_timer, self.attempt_timer,
+                      self.retry_timer):
+            if timer is not None:
+                timer.cancel()
+        self.deadline_timer = self.attempt_timer = self.retry_timer = None
 
 
 class XrlRouter:
@@ -130,6 +166,11 @@ class XrlRouter:
         self._cache: Dict[Tuple[str, str], _CacheEntry] = {}
         self._seq = itertools.count(1)
         self._alive = True
+        self._pending: set = set()
+        #: replies that arrived after their call was cancelled or completed
+        self.late_replies = 0
+        #: attempts re-dispatched under a :class:`RetryPolicy`
+        self.retries_performed = 0
 
     # -- handler registration ---------------------------------------------
     def register_method(self, interface: XrlInterface, method: XrlMethod,
@@ -150,12 +191,22 @@ class XrlRouter:
         interface.bind(self, impl)
 
     # -- sending -------------------------------------------------------------
-    def send(self, xrl, callback: Optional[ResponseCallback] = None) -> None:
+    def send(self, xrl, callback: Optional[ResponseCallback] = None, *,
+             deadline: Optional[float] = None,
+             retry: Optional[RetryPolicy] = None) -> None:
         """Dispatch *xrl* asynchronously.
 
         *callback(error, args)* runs from the event loop when the response
         arrives (or resolution/transport fails).  Errors never raise into
         the caller — event-driven code deals with them in the callback.
+
+        *deadline* (seconds, event-loop clock) bounds the whole call: when
+        it expires the callback fires once with ``REPLY_TIMED_OUT`` and any
+        later reply is counted in :attr:`late_replies` and dropped.
+
+        *retry*, for idempotent methods only, re-dispatches the call with
+        jittered backoff on retryable failures (see
+        :class:`repro.xrl.retry.RetryPolicy`).
         """
         if callback is None:
             callback = _ignore_response
@@ -165,39 +216,131 @@ class XrlRouter:
                 XrlArgs(),
             )
             return
+        call = _PendingCall(xrl, callback, retry)
+        self._pending.add(call)
+        if deadline is not None:
+            call.deadline_timer = self.loop.call_later(
+                deadline, lambda: self._deadline_expired(call),
+                name="xrl-deadline")
+        self._attempt(call, defer_errors=True)
+
+    def _attempt(self, call: _PendingCall, defer_errors: bool = False) -> None:
+        """Dispatch one attempt of *call* (resolve, connect, transmit)."""
+        call.attempt += 1
+        token = object()
+        call.attempt_token = token
+        xrl = call.xrl
         method_path = xrl.method_path
         cache_key = (xrl.target, method_path)
         entry = self._cache.get(cache_key)
-        if entry is None or not entry.sender.alive:
-            try:
-                entry = self._resolve_and_connect(xrl.target, method_path)
-            except XrlError as error:
-                self.loop.call_soon(callback, error, XrlArgs())
-                return
-            self._cache[cache_key] = entry
-        seq = next(self._seq)
-        request = encode_request(seq, entry.resolved_method, xrl.args)
+        if entry is not None and not entry.sender.alive:
+            entry = None
+        tried: set = set()
+        transport_error: Optional[XrlError] = None
 
         def on_reply(frame: Optional[bytes]) -> None:
+            if call.done or call.attempt_token is not token:
+                self.late_replies += 1
+                return
+            if call.attempt_timer is not None:
+                call.attempt_timer.cancel()
+                call.attempt_timer = None
             if frame is None:
-                callback(
-                    XrlError(XrlErrorCode.REPLY_TIMED_OUT, str(xrl)), XrlArgs()
-                )
+                self._finish_attempt(
+                    call, XrlError(XrlErrorCode.REPLY_TIMED_OUT, str(xrl)))
                 return
             try:
                 __, error, args = decode_response(frame)
             except XrlError as decode_error:
-                callback(decode_error, XrlArgs())
+                self._complete(call, decode_error, XrlArgs())
                 return
-            callback(error, args)
+            self._complete(call, error, args)
 
-        try:
-            entry.sender.call(request, on_reply)
-        except XrlError as error:
-            self._cache.pop(cache_key, None)
-            self.loop.call_soon(callback, error, XrlArgs())
+        while True:
+            if entry is None:
+                try:
+                    entry = self._resolve_and_connect(
+                        xrl.target, method_path, exclude=tried)
+                except XrlError as error:
+                    # A transport failure is more informative than the
+                    # resulting "no family left" resolution failure.
+                    self._finish_attempt(call, transport_error or error,
+                                         defer=defer_errors)
+                    return
+                self._cache[cache_key] = entry
+            request = encode_request(next(self._seq), entry.resolved_method,
+                                     xrl.args)
+            try:
+                entry.sender.call(request, on_reply)
+            except XrlError as error:
+                # The sender is broken: drop it from the cache and retry
+                # the freshly-resolved candidates, skipping endpoints that
+                # already failed within this attempt.
+                self._cache.pop(cache_key, None)
+                entry.sender.close()
+                tried.add((entry.family_name, entry.address))
+                entry = None
+                transport_error = error
+                continue
+            break
+        policy = call.retry
+        if policy is not None and policy.attempt_timeout is not None:
+            call.attempt_timer = self.loop.call_later(
+                policy.attempt_timeout,
+                lambda: self._expire_attempt(call, token),
+                name="xrl-attempt-timeout")
 
-    def _resolve_and_connect(self, target: str, method_path: str) -> _CacheEntry:
+    def _expire_attempt(self, call: _PendingCall, token: object) -> None:
+        if call.done or call.attempt_token is not token:
+            return
+        call.attempt_timer = None
+        self._finish_attempt(call, XrlError(
+            XrlErrorCode.REPLY_TIMED_OUT,
+            f"attempt {call.attempt}: {call.xrl}"))
+
+    def _finish_attempt(self, call: _PendingCall, error: XrlError,
+                        defer: bool = False) -> None:
+        """An attempt failed: retry under the call's policy or complete."""
+        policy = call.retry
+        if (policy is not None and not call.done
+                and policy.retryable(error.code)
+                and call.attempt < policy.max_attempts):
+            call.attempt_token = None  # late replies for this attempt drop
+            self.retries_performed += 1
+            call.retry_timer = self.loop.call_later(
+                policy.delay(call.attempt),
+                lambda: self._retry_fire(call), name="xrl-retry")
+            return
+        self._complete(call, error, XrlArgs(), defer=defer)
+
+    def _retry_fire(self, call: _PendingCall) -> None:
+        call.retry_timer = None
+        if call.done or not self._alive:
+            return
+        self._attempt(call)
+
+    def _deadline_expired(self, call: _PendingCall) -> None:
+        if call.done:
+            return
+        call.deadline_timer = None
+        call.attempt_token = None
+        self._complete(call, XrlError(XrlErrorCode.REPLY_TIMED_OUT,
+                                      str(call.xrl)), XrlArgs())
+
+    def _complete(self, call: _PendingCall, error: XrlError, args: XrlArgs,
+                  defer: bool = False) -> None:
+        if call.done:
+            return
+        call.done = True
+        call.cancel_timers()
+        self._pending.discard(call)
+        if defer:
+            self.loop.call_soon(call.callback, error, args)
+        else:
+            call.callback(error, args)
+
+    def _resolve_and_connect(self, target: str, method_path: str, *,
+                             exclude: Optional[set] = None) -> _CacheEntry:
         resolved_method, candidates, __ = self.finder.resolve(
             self, target, method_path
         )
@@ -205,6 +348,8 @@ class XrlRouter:
         for family_name, address in candidates:
             family = self._families.get(family_name)
             if family is None:
+                continue
+            if exclude and (family_name, address) in exclude:
                 continue
             reachable = getattr(family, "reachable", None)
             if reachable is not None and not reachable(address, self):
@@ -218,21 +363,33 @@ class XrlRouter:
         usable.sort(reverse=True)
         __, family_name, address = usable[0]
         sender = self._families[family_name].connect(address, self)
-        return _CacheEntry(resolved_method, sender, family_name)
+        return _CacheEntry(resolved_method, sender, family_name, address)
 
-    def send_sync(self, xrl, timeout: float = 30.0) -> Tuple[XrlError, XrlArgs]:
+    def send_sync(self, xrl, timeout: float = 30.0, *,
+                  retry: Optional[RetryPolicy] = None
+                  ) -> Tuple[XrlError, XrlArgs]:
         """Convenience: dispatch and run the loop until the reply arrives.
 
-        For scripts and tests; event-driven code uses :meth:`send`.
+        For scripts and tests; event-driven code uses :meth:`send`.  The
+        timeout is a true cancellation deadline: on expiry the pending
+        callback is retired, so a late reply is counted in
+        :attr:`late_replies` and dropped instead of landing in a dead box.
         """
         box: List[Tuple[XrlError, XrlArgs]] = []
-        self.send(xrl, lambda error, args: box.append((error, args)))
-        if not self.loop.run_until(lambda: bool(box), timeout=timeout):
+        self.send(xrl, lambda error, args: box.append((error, args)),
+                  deadline=timeout, retry=retry)
+        self.loop.run_until(lambda: bool(box), timeout=timeout + 1.0)
+        if not box:
             return XrlError(XrlErrorCode.REPLY_TIMED_OUT, str(xrl)), XrlArgs()
         return box[0]
 
     def finder_cache_invalidate(self, target: str) -> None:
-        """Drop cached resolutions involving *target* (Finder callback)."""
+        """Drop cached resolutions involving *target* (Finder callback).
+
+        Fires on birth as well as death, so after a supervised restart the
+        next call resolves the reborn instance fresh instead of riding a
+        sender towards the dead one.
+        """
         for cache_key in [k for k in self._cache if k[0] == target]:
             entry = self._cache.pop(cache_key)
             entry.sender.close()
@@ -333,6 +490,13 @@ class XrlRouter:
         if not self._alive:
             return
         self._alive = False
+        # Outstanding calls can never complete now: fail them promptly so
+        # callers (transmit queues, supervisors) observe the shutdown
+        # instead of hanging until their deadlines.
+        for call in list(self._pending):
+            self._complete(call, XrlError(XrlErrorCode.SEND_FAILED,
+                                          "router shut down"),
+                           XrlArgs(), defer=True)
         for entry in self._cache.values():
             entry.sender.close()
         self._cache.clear()

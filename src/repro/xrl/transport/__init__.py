@@ -13,7 +13,10 @@ Families implemented here:
   paper's first prototype ("UDP ... does not pipeline requests");
 * ``sim``    — simulated-latency delivery on a virtual clock, used by the
   latency experiments to model IPC context-switch cost;
-* ``kill``   — delivers a Unix-signal-like number to a process.
+* ``kill``   — delivers a Unix-signal-like number to a process;
+* ``fault``  — a wrapper family that deterministically drops, delays,
+  duplicates, corrupts, or partitions frames of any inner family (the
+  chaos harness behind the supervision tests).
 """
 
 from repro.xrl.transport.base import (
@@ -24,6 +27,7 @@ from repro.xrl.transport.base import (
     encode_request,
     encode_response,
 )
+from repro.xrl.transport.fault import FaultFamily, FaultStats
 from repro.xrl.transport.intra import IntraProcessFamily
 from repro.xrl.transport.kill import KillFamily
 from repro.xrl.transport.sim import SimFamily
@@ -31,6 +35,8 @@ from repro.xrl.transport.tcp import TcpFamily
 from repro.xrl.transport.udp import UdpFamily
 
 __all__ = [
+    "FaultFamily",
+    "FaultStats",
     "IntraProcessFamily",
     "KillFamily",
     "ProtocolFamily",

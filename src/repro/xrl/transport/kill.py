@@ -43,6 +43,17 @@ class _KillSender(Sender):
         loop = self._caller.loop
 
         def deliver() -> None:
+            # Liveness is re-checked at delivery time: an unlisten that
+            # lands between call() and the loop running us must not
+            # resurrect the handler of a process that is already gone.
+            if self._family._listeners.get(self._address) is not target:
+                reply_cb(encode_response(
+                    seq,
+                    XrlError(XrlErrorCode.SEND_FAILED,
+                             f"kill target {self._address} died before "
+                             "delivery"),
+                    XrlArgs()))
+                return
             handler = getattr(target, "on_signal", None)
             if handler is not None:
                 handler(signal_number)
