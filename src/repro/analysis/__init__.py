@@ -1,0 +1,55 @@
+"""Architectural lint for the XORP reproduction (``python -m repro.analysis``).
+
+XORP enforced its inter-process contracts at build time: the IDL compiler
+(``xrlc``) checked every stub against the ``.xif`` interface files, the
+multi-process design made shared state impossible, and the single-threaded
+event loop demanded that nothing block (paper §4, §6.1).  A Python port
+keeps none of those guarantees for free — interface drift, cross-process
+imports, and wall-clock calls all slip in silently and only surface when a
+test happens to exercise them.
+
+This package restores the guarantees statically.  Four AST-based checkers
+run over the tree:
+
+``xrl-conformance`` (XRL001–XRL006)
+    Every XRL call site (``Xrl(...)`` construction, client stubs,
+    ``register_raw_method``, textual ``call_xrl`` literals) and every
+    handler registration (``bind``) is cross-checked against the IDL
+    catalogue in :mod:`repro.interfaces` — interface and version
+    existence, method names, argument names/types/arity, handler
+    signatures.
+
+``isolation`` (ISO001–ISO002)
+    Process packages (bgp, rib, fea, ...) must not import each other's
+    internals; everything crosses via ``repro.xrl`` / ``repro.interfaces``.
+    Shared library packages must not reach into process packages either.
+
+``determinism`` (DET001–DET004)
+    No wall-clock reads, blocking sleeps, unseeded randomness, or blocking
+    socket work outside ``eventloop/`` and ``xrl/transport/`` — these
+    break :class:`~repro.eventloop.SimulatedClock` reproducibility and the
+    seeded chaos/recovery tests built on it.
+
+``callback-safety`` (CB001)
+    Deferred callbacks (``loop.call_soon`` / ``loop.call_later``) that
+    capture process state must carry a liveness or generation guard — the
+    paper's §4 stale-callback discipline already practised by
+    ``txqueue``/``kill.py``.
+
+Findings are suppressed per line with ``# repro: allow[RULE] reason``.
+The suite runs as a pytest gate (``tests/test_analysis.py``) so drift
+fails the build the way XORP's xrlc did.
+"""
+
+from repro.analysis.core import Finding, ModuleInfo, RULES, Rule
+from repro.analysis.runner import analyze_paths, analyze_source, run_checkers
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "RULES",
+    "Rule",
+    "analyze_paths",
+    "analyze_source",
+    "run_checkers",
+]

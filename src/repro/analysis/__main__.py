@@ -1,0 +1,61 @@
+"""CLI: ``python -m repro.analysis [paths...]``.
+
+Exit status 0 when the tree is clean, 1 when any finding survives
+suppression — the same contract as XORP's build-time xrlc check, so CI
+wires this straight into the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.core import RULES
+from repro.analysis.runner import analyze_paths
+
+
+def _default_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Architectural lint: IDL conformance, shared-nothing "
+                    "isolation, event-loop determinism, callback safety.",
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to check "
+                             "(default: the installed repro package)")
+    parser.add_argument("--rule", action="append", dest="rules",
+                        metavar="RULE",
+                        help="only report this rule id (repeatable)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULES.values(), key=lambda r: r.id):
+            print(f"{rule.id}  [{rule.paper}]  {rule.summary}")
+        return 0
+
+    paths = args.paths or [_default_root()]
+    findings = analyze_paths(paths, rules=args.rules)
+    if args.format == "json":
+        print(json.dumps([finding.__dict__ for finding in findings],
+                         indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

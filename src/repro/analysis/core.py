@@ -1,0 +1,283 @@
+"""Shared infrastructure for the architectural lint suite.
+
+:class:`ModuleInfo` wraps one parsed source file with the metadata every
+checker needs: its logical package path inside ``repro``, the AST, and
+the per-line suppression table built from ``# repro: allow[RULE]``
+comments.  :class:`Finding` is the structured result all checkers emit.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One enforced invariant: id, summary, and the paper section behind it."""
+
+    id: str
+    summary: str
+    paper: str
+
+
+RULES: Dict[str, Rule] = {
+    rule.id: rule
+    for rule in [
+        Rule("XRL001", "XRL names an interface/version absent from the IDL "
+                       "catalogue", "§6.1"),
+        Rule("XRL002", "XRL names a method the interface does not declare",
+             "§6.1"),
+        Rule("XRL003", "XRL argument names/types/arity disagree with the IDL "
+                       "signature", "§6.1"),
+        Rule("XRL004", "bind() target implements no handler for a declared "
+                       "method", "§6.1"),
+        Rule("XRL005", "handler signature cannot accept the declared "
+                       "parameters", "§6.1"),
+        Rule("XRL006", "textual XRL literal does not parse", "§6.1"),
+        Rule("ISO001", "process package imports another process package's "
+                       "internals", "§4"),
+        Rule("ISO002", "shared library package imports a process package",
+             "§4"),
+        Rule("DET001", "wall-clock read outside eventloop//xrl.transport "
+                       "breaks SimulatedClock reproducibility", "§4"),
+        Rule("DET002", "blocking sleep stalls the single-threaded event loop",
+             "§4"),
+        Rule("DET003", "unseeded randomness breaks deterministic replay",
+             "§4"),
+        Rule("DET004", "blocking socket/select call outside the transport "
+                       "layer", "§4"),
+        Rule("CB001", "deferred callback captures process state without a "
+                      "liveness/generation guard", "§4"),
+        Rule("SUP001", "suppression names an unknown rule id", "tooling"),
+        Rule("GEN001", "file does not parse as Python", "tooling"),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured lint result: where, which rule, and why."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+def scan_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Per-line rule suppressions from ``# repro: allow[RULE,...]``.
+
+    Only real comment tokens count (the syntax being *mentioned* in a
+    docstring must not suppress anything).  A trailing comment covers its
+    own line; a line holding only the comment also covers the next line,
+    so multi-line statements can be annotated above rather than squeezed
+    past column 79.
+    """
+    import io
+    import tokenize
+
+    table: Dict[int, Set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return table
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_RE.search(token.string)
+        if not match:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")
+                 if part.strip()}
+        lineno = token.start[0]
+        table.setdefault(lineno, set()).update(rules)
+        if token.line[:token.start[1]].strip() == "":
+            table.setdefault(lineno + 1, set()).update(rules)
+    return table
+
+
+@dataclass
+class ModuleInfo:
+    """One source file prepared for checking."""
+
+    path: Path
+    #: dotted location inside the repro package, e.g. ("bgp", "process");
+    #: ("analysis", "core") for this file.  Element 0 names the package a
+    #: module belongs to for isolation/determinism scoping.
+    logical: Tuple[str, ...]
+    source: str
+    tree: ast.Module
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        return self.logical[0] if len(self.logical) > 1 else ""
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        return rule in self.suppressions.get(line, ())
+
+    @classmethod
+    def from_source(cls, source: str, path: Path,
+                    logical: Optional[Tuple[str, ...]] = None) -> "ModuleInfo":
+        if logical is None:
+            logical = logical_parts(path)
+        tree = ast.parse(source, filename=str(path))
+        return cls(path=path, logical=logical, source=source, tree=tree,
+                   suppressions=scan_suppressions(source))
+
+
+def logical_parts(path: Path) -> Tuple[str, ...]:
+    """Best-effort logical location: the path parts below a ``repro`` dir."""
+    parts = [p for p in path.parts]
+    stem = list(parts[:-1]) + [Path(parts[-1]).stem]
+    for index in range(len(stem) - 1, -1, -1):
+        if stem[index] == "repro":
+            return tuple(stem[index + 1:])
+    return (stem[-1],)
+
+
+class Checker:
+    """Base class: one architectural invariant family."""
+
+    name = "checker"
+    rules: Sequence[str] = ()
+
+    def check(self, module: ModuleInfo, project: "ProjectIndex"
+              ) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ProjectIndex:
+    """Cross-module lookups the checkers share.
+
+    Today that is a class index (simple name -> definitions) used to
+    resolve handler classes and base classes when checking ``bind()``
+    registrations and callback guards across files.
+    """
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.modules = list(modules)
+        self.classes: Dict[str, List[Tuple[ModuleInfo, ast.ClassDef]]] = {}
+        for module in self.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    self.classes.setdefault(node.name, []).append((module, node))
+
+    def class_def(self, name: str) -> Optional[ast.ClassDef]:
+        entries = self.classes.get(name)
+        return entries[0][1] if entries else None
+
+    def find_method(self, cls: ast.ClassDef, *names: str,
+                    _seen: Optional[Set[str]] = None
+                    ) -> Tuple[Optional[ast.FunctionDef], bool]:
+        """Look up the first of *names* on *cls* or its resolvable bases.
+
+        Returns ``(function, complete)``; *complete* is False when some
+        base class could not be resolved in the project, so a miss is not
+        proof of absence.
+        """
+        seen = _seen if _seen is not None else set()
+        if cls.name in seen:
+            return None, True
+        seen.add(cls.name)
+        # Mirror XrlInterface.bind's preference order: the first of *names*
+        # wins (``xrl_m`` before the bare ``m`` fallback), not body order.
+        defined = {
+            node.name: node for node in cls.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for name in names:
+            if name in defined:
+                return defined[name], True
+        complete = True
+        for base in cls.bases:
+            base_name = base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else None)
+            if base_name is None or base_name == "object":
+                continue
+            base_def = self.class_def(base_name)
+            if base_def is None:
+                complete = False
+                continue
+            found, sub_complete = self.find_method(base_def, *names, _seen=seen)
+            if found is not None:
+                return found, True
+            complete = complete and sub_complete
+        return None, complete
+
+
+def resolve_str_values(node: Optional[ast.AST],
+                       fn: Optional[ast.AST],
+                       before_line: int) -> List[Tuple[str, int]]:
+    """Statically resolve *node* to its possible string constants.
+
+    Handles constants, ``"a" if c else "b"`` conditionals, and simple
+    names assigned a resolvable value earlier in the enclosing function
+    (closest assignment before *before_line* wins).  Returns
+    ``(value, line-of-the-constant)`` pairs; empty when unresolvable.
+    """
+    if node is None:
+        return []
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [(node.value, node.lineno)]
+    if isinstance(node, ast.IfExp):
+        return (resolve_str_values(node.body, fn, before_line)
+                + resolve_str_values(node.orelse, fn, before_line))
+    if isinstance(node, ast.Name) and fn is not None:
+        assign = closest_assignment(fn, node.id, before_line)
+        if assign is not None:
+            return resolve_str_values(assign.value, fn, assign.lineno)
+    return []
+
+
+def closest_assignment(fn: ast.AST, name: str,
+                       before_line: int) -> Optional[ast.Assign]:
+    """The latest ``name = ...`` in *fn* strictly before *before_line*."""
+    best: Optional[ast.Assign] = None
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign) or node.lineno >= before_line:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                if best is None or node.lineno > best.lineno:
+                    best = node
+    return best
+
+
+def walk_with_scopes(tree: ast.Module):
+    """Yield every (node, ancestry) pair; ancestry is outermost-first."""
+    stack: List[ast.AST] = []
+
+    def visit(node: ast.AST):
+        yield node, list(stack)
+        stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+        stack.pop()
+
+    yield from visit(tree)
+
+
+def enclosing_function(ancestry: Sequence[ast.AST]) -> Optional[ast.AST]:
+    for node in reversed(ancestry):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            return node
+    return None
+
+
+def enclosing_class(ancestry: Sequence[ast.AST]) -> Optional[ast.ClassDef]:
+    for node in reversed(ancestry):
+        if isinstance(node, ast.ClassDef):
+            return node
+    return None

@@ -1,0 +1,106 @@
+"""Drive the checkers over a source tree and collect findings.
+
+:func:`analyze_paths` is what both entry points use — the ``python -m
+repro.analysis`` CLI and the pytest gate in ``tests/test_analysis.py``.
+Suppressions (``# repro: allow[RULE] reason``) are applied here, after
+all checkers ran, so a checker never needs to know about them; unknown
+rule ids inside a suppression are themselves reported (SUP001) so typos
+cannot silently disable enforcement.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleInfo,
+    ProjectIndex,
+    RULES,
+)
+
+
+def default_checkers() -> List[Checker]:
+    from repro.analysis.callbacks import CallbackSafetyChecker
+    from repro.analysis.determinism import DeterminismChecker
+    from repro.analysis.isolation import IsolationChecker
+    from repro.analysis.xrlcheck import XrlConformanceChecker
+
+    return [
+        XrlConformanceChecker(),
+        IsolationChecker(),
+        DeterminismChecker(),
+        CallbackSafetyChecker(),
+    ]
+
+
+def collect_modules(paths: Sequence[Path]) -> Tuple[List[ModuleInfo],
+                                                    List[Finding]]:
+    """Load every ``.py`` file under *paths*; syntax errors become findings."""
+    modules: List[ModuleInfo] = []
+    errors: List[Finding] = []
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            modules.append(ModuleInfo.from_source(source, file_path))
+        except SyntaxError as exc:
+            errors.append(Finding(str(file_path), exc.lineno or 1, "GEN001",
+                                  f"syntax error: {exc.msg}"))
+    return modules, errors
+
+
+def run_checkers(modules: Sequence[ModuleInfo],
+                 checkers: Optional[Sequence[Checker]] = None,
+                 rules: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Run *checkers* over prepared modules; apply suppressions."""
+    if checkers is None:
+        checkers = default_checkers()
+    wanted = set(rules) if rules is not None else None
+    project = ProjectIndex(modules)
+    findings: List[Finding] = []
+    module_by_path = {str(m.path): m for m in modules}
+    for checker in checkers:
+        for module in modules:
+            for finding in checker.check(module, project):
+                if wanted is not None and finding.rule not in wanted:
+                    continue
+                findings.append(finding)
+    kept: List[Finding] = []
+    for finding in findings:
+        module = module_by_path.get(finding.path)
+        if module is not None and module.suppressed(finding.line, finding.rule):
+            continue
+        kept.append(finding)
+    for module in modules:
+        for line, rule_ids in sorted(module.suppressions.items()):
+            for rule_id in sorted(rule_ids):
+                if rule_id not in RULES:
+                    kept.append(Finding(
+                        str(module.path), line, "SUP001",
+                        f"suppression names unknown rule {rule_id!r}"))
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+    return kept
+
+
+def analyze_paths(paths: Sequence[Path],
+                  rules: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Full run: load sources under *paths*, check, suppress, sort."""
+    modules, errors = collect_modules(paths)
+    return errors + run_checkers(modules, rules=rules)
+
+
+def analyze_source(source: str, *, logical: Tuple[str, ...],
+                   path: str = "<fixture>",
+                   rules: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Check one in-memory snippet (the test-fixture entry point)."""
+    module = ModuleInfo.from_source(source, Path(path), logical=logical)
+    return run_checkers([module], rules=rules)

@@ -85,11 +85,12 @@ def _measure_transaction(loop: EventLoop, client: XrlRouter, target: str,
         completed[0] += 1
         pump()
 
+    # repro: allow[DET001] throughput benchmark: real elapsed wall time IS the measurement
     start = time.perf_counter()
     pump()
     finished = loop.run_until(lambda: completed[0] >= transaction_size,
                               timeout=120.0)
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # repro: allow[DET001] benchmark timing
     if not finished:
         raise RuntimeError(
             f"XRL transaction did not finish: {completed[0]}/{transaction_size}"

@@ -10,6 +10,8 @@ all"), and every boundary is visible in one place for review.
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 from repro.xrl.idl import XrlInterface, parse_idl
 
 IDL_TEXT = """
@@ -176,6 +178,33 @@ interface common/0.1 {
     get_status      -> status:txt;
     shutdown;
 }
+
+/* ---- Profiling (paper 8.1: "XORP provides a profiling facility") ------- */
+
+interface profile/1.0 {
+    enable      ? pname:txt;
+    disable     ? pname:txt;
+    clear       ? pname:txt;
+    list        -> pnames:txt;
+    get_entries ? pname:txt -> entries:txt;
+}
+
+/* ---- Finder (resolution exposed over XRL, paper 6.2) ------------------- */
+
+interface finder/1.0 {
+    resolve_xrl ? xrl:txt -> resolved:txt;
+    get_target_list -> targets:txt;
+    get_class_instances ? class_name:txt -> instances:txt;
+    target_exists ? target:txt -> exists:bool;
+}
+
+/* ---- Benchmark scaffolding (paper 8.2 XRL performance runs).  The
+   ``noargs`` endpoint is served raw (unchecked) so scaling runs can vary
+   the atom count without redeclaring a method per payload size. */
+
+interface bench/1.0 {
+    noargs;
+}
 """
 
 _CATALOGUE = parse_idl(IDL_TEXT)
@@ -184,6 +213,23 @@ _CATALOGUE = parse_idl(IDL_TEXT)
 def interface(fullname: str) -> XrlInterface:
     """Fetch an interface from the catalogue by ``name/version``."""
     return _CATALOGUE[fullname]
+
+
+def catalogue() -> Dict[str, XrlInterface]:
+    """The full interface catalogue, keyed by ``name/version``.
+
+    This is the machine-readable view tooling builds on: the
+    ``repro.analysis`` conformance checker cross-checks every XRL call
+    site and handler registration in the tree against exactly this
+    mapping, the way XORP's ``xrlc`` checked stubs against the ``.xif``
+    files at build time.
+    """
+    return dict(_CATALOGUE)
+
+
+def describe_catalogue() -> Dict[str, Dict[str, Dict[str, Tuple[Tuple[str, str], ...]]]]:
+    """Plain-data rendering of the catalogue (no repro.xrl objects)."""
+    return {name: iface.describe() for name, iface in _CATALOGUE.items()}
 
 
 RIB_IDL = interface("rib/1.0")
@@ -204,3 +250,6 @@ MLD6IGMP_CLIENT_IDL = interface("mld6igmp_client/0.1")
 PIM_IDL = interface("pim/0.1")
 RTRMGR_IDL = interface("rtrmgr/1.0")
 COMMON_IDL = interface("common/0.1")
+PROFILER_IDL = interface("profile/1.0")
+FINDER_IDL = interface("finder/1.0")
+BENCH_IDL = interface("bench/1.0")

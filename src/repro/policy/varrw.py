@@ -153,18 +153,12 @@ class RibVarRW(VarRW):
     def result(self):
         if not self._changes:
             return self._route
-        from repro.rib.route import RibRoute
-
         tags = self._changes.get("tag", self._route.policytags)
         if not isinstance(tags, (list, tuple)):
             tags = [int(tags)]
-        route = RibRoute(
-            self._route.net, self._route.nexthop,
-            int(self._changes.get("metric", self._route.metric)),
-            self._route.protocol,
-            admin_distance=self._route.admin_distance,
-            is_external=self._route.is_external,
-            ifname=self._route.ifname,
-            policytags=tags,
+        # The route rebuilds itself (RibRoute.replaced): policy is shared
+        # library code and must not import RIB internals.
+        return self._route.replaced(
+            metric=int(self._changes.get("metric", self._route.metric)),
+            policytags=list(tags),
         )
-        return route

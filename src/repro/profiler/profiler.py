@@ -18,19 +18,11 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.eventloop.clock import Clock
-from repro.xrl.idl import parse_idl
 
-PROFILER_IDL_TEXT = """
-interface profile/1.0 {
-    enable      ? pname:txt;
-    disable     ? pname:txt;
-    clear       ? pname:txt;
-    list        -> pnames:txt;
-    get_entries ? pname:txt -> entries:txt;
-}
-"""
-
-PROFILER_IDL = parse_idl(PROFILER_IDL_TEXT)["profile/1.0"]
+# The profile/1.0 IDL lives in the central catalogue (repro.interfaces)
+# with every other inter-process API; re-exported here for callers that
+# bind the profiler without caring where the declaration lives.
+from repro.interfaces import PROFILER_IDL
 
 
 class ProfileVar:

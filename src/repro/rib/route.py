@@ -57,6 +57,25 @@ class RibRoute:
         self.ifname = ifname
         self.policytags = list(policytags) if policytags else []
 
+    def replaced(self, *, metric: Optional[int] = None,
+                 policytags: Optional[List[int]] = None) -> "RibRoute":
+        """A copy with the policy-writable fields overridden.
+
+        This is the hook the policy VM rewrites routes through
+        (:mod:`repro.policy.varrw`), so policy code never needs to know
+        the route class — the route rebuilds itself.
+        """
+        return RibRoute(
+            self.net, self.nexthop,
+            self.metric if metric is None else int(metric),
+            self.protocol,
+            admin_distance=self.admin_distance,
+            is_external=self.is_external,
+            ifname=self.ifname,
+            policytags=self.policytags if policytags is None
+            else list(policytags),
+        )
+
     def sort_key(self) -> Tuple[int, int, str]:
         """Lower sorts first = preferred."""
         return (self.admin_distance, self.metric, self.protocol)

@@ -372,6 +372,8 @@ class RipProcess(XorpProcess):
         self._clear_changed()
 
     def _clear_changed(self) -> None:
+        if not self.running:  # deferred past shutdown: nothing to clear
+            return
         for __, entry in self.routes.items():
             entry.changed = False
 

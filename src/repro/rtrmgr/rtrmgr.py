@@ -96,7 +96,7 @@ class RouterManager(XorpProcess):
 
     # -- module factories -------------------------------------------------------
     def _make_bgp(self) -> XorpProcess:
-        from repro.bgp import BgpProcess
+        from repro.bgp import BgpProcess  # repro: allow[ISO001] composition root: launches the module, never touches its state
 
         local_as = self.config.get_value(["protocols", "bgp", "local-as"])
         if local_as is None:
@@ -107,12 +107,12 @@ class RouterManager(XorpProcess):
                           bgp_id=IPv4(bgp_id), retry_policy=self.module_retry)
 
     def _make_rip(self) -> XorpProcess:
-        from repro.rip import RipProcess
+        from repro.rip import RipProcess  # repro: allow[ISO001] composition root: launches the module, never touches its state
 
         return RipProcess(self.host)
 
     def _make_ospf(self) -> XorpProcess:
-        from repro.ospf import OspfProcess
+        from repro.ospf import OspfProcess  # repro: allow[ISO001] composition root: launches the module, never touches its state
 
         router_id = self.config.get_value(["protocols", "ospf", "router-id"])
         if router_id is None:
@@ -120,17 +120,17 @@ class RouterManager(XorpProcess):
         return OspfProcess(self.host, IPv4(router_id))
 
     def _make_static(self) -> XorpProcess:
-        from repro.staticroutes import StaticRoutesProcess
+        from repro.staticroutes import StaticRoutesProcess  # repro: allow[ISO001] composition root: launches the module, never touches its state
 
         return StaticRoutesProcess(self.host)
 
     def _make_pim(self) -> XorpProcess:
-        from repro.pim import PimProcess
+        from repro.pim import PimProcess  # repro: allow[ISO001] composition root: launches the module, never touches its state
 
         return PimProcess(self.host)
 
     def _make_mld6igmp(self) -> XorpProcess:
-        from repro.mld6igmp import Mld6igmpProcess
+        from repro.mld6igmp import Mld6igmpProcess  # repro: allow[ISO001] composition root: launches the module, never touches its state
 
         return Mld6igmpProcess(self.host)
 

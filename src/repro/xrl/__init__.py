@@ -29,7 +29,7 @@ The pieces:
 from repro.xrl.args import XrlArgs
 from repro.xrl.error import XrlError, XrlErrorCode
 from repro.xrl.finder import Finder
-from repro.xrl.idl import IdlError, XrlInterface, parse_idl
+from repro.xrl.idl import IdlError, IdlParseError, XrlInterface, parse_idl
 from repro.xrl.router import XrlRouter
 from repro.xrl.types import XrlAtom, XrlAtomType
 from repro.xrl.xrl import Xrl
@@ -37,6 +37,7 @@ from repro.xrl.xrl import Xrl
 __all__ = [
     "Finder",
     "IdlError",
+    "IdlParseError",
     "Xrl",
     "XrlArgs",
     "XrlAtom",

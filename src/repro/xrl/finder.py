@@ -72,7 +72,10 @@ class Finder:
     """Broker for component registration, resolution, and lifetime events."""
 
     def __init__(self, rng: Optional[random.Random] = None):
-        self._rng = rng if rng is not None else random.Random()
+        # Access keys need only be unguessable by *components*, which never
+        # see the Finder's rng; a fixed default seed keeps every simulation
+        # run replayable.  Real deployments pass an entropy-seeded Random.
+        self._rng = rng if rng is not None else random.Random(0x5eed)
         self._instances: Dict[str, _ComponentEntry] = {}
         self._classes: Dict[str, List[str]] = {}
         self._watches: Dict[str, List[Tuple[str, WatchCallback]]] = {}

@@ -17,18 +17,12 @@ from typing import Optional
 
 from repro.xrl.error import XrlError, XrlErrorCode
 from repro.xrl.finder import Finder
-from repro.xrl.idl import parse_idl
 from repro.xrl.router import XrlRouter
 from repro.xrl.xrl import Xrl
 
-FINDER_IDL = parse_idl("""
-interface finder/1.0 {
-    resolve_xrl ? xrl:txt -> resolved:txt;
-    get_target_list -> targets:txt;
-    get_class_instances ? class_name:txt -> instances:txt;
-    target_exists ? target:txt -> exists:bool;
-}
-""")["finder/1.0"]
+# The finder/1.0 IDL is declared in the central catalogue
+# (repro.interfaces) alongside every other inter-process API.
+from repro.interfaces import FINDER_IDL
 
 
 class FinderTarget:

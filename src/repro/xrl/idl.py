@@ -35,6 +35,19 @@ class IdlError(ValueError):
     """Raised for malformed IDL text or signature violations."""
 
 
+class IdlParseError(IdlError):
+    """Malformed IDL text, located: :attr:`line` is 1-based in the source.
+
+    Subclasses :class:`IdlError` so callers that only care about "the IDL
+    is bad" keep working; tooling (``repro.analysis``, error reporting)
+    reads :attr:`line` to point at the offending declaration.
+    """
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
 _COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
 _IFACE_RE = re.compile(
     r"interface\s+([A-Za-z0-9_\-]+)/([0-9.]+)\s*\{([^}]*)\}", re.DOTALL
@@ -42,7 +55,13 @@ _IFACE_RE = re.compile(
 _NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_\-]*$")
 
 
-def _parse_params(text: str, where: str) -> List[Tuple[str, XrlAtomType]]:
+def _blank_preserving_lines(text: str, start: int, end: int) -> str:
+    """Replace ``text[start:end]`` with spaces, keeping every newline."""
+    blanked = re.sub(r"[^\n]", " ", text[start:end])
+    return text[:start] + blanked + text[end:]
+
+
+def _parse_params(text: str, where: str, line: int) -> List[Tuple[str, XrlAtomType]]:
     params: List[Tuple[str, XrlAtomType]] = []
     text = text.strip()
     if not text:
@@ -54,13 +73,14 @@ def _parse_params(text: str, where: str) -> List[Tuple[str, XrlAtomType]]:
         name = name.strip()
         type_tag = type_tag.strip()
         if not colon or not _NAME_RE.match(name):
-            raise IdlError(f"bad parameter {chunk!r} in {where}")
+            raise IdlParseError(f"bad parameter {chunk!r} in {where}", line)
         try:
             atom_type = XrlAtomType(type_tag)
         except ValueError as exc:
-            raise IdlError(f"unknown type {type_tag!r} in {where}") from exc
+            raise IdlParseError(
+                f"unknown type {type_tag!r} in {where}", line) from exc
         if name in seen:
-            raise IdlError(f"duplicate parameter {name!r} in {where}")
+            raise IdlParseError(f"duplicate parameter {name!r} in {where}", line)
         seen.add(name)
         params.append((name, atom_type))
     return params
@@ -76,6 +96,18 @@ class XrlMethod:
         self.name = name
         self.params = params
         self.returns = returns
+
+    @property
+    def signature(self) -> Tuple[Tuple[Tuple[str, str], ...],
+                                 Tuple[Tuple[str, str], ...]]:
+        """Machine-readable ``((param, type), ...), ((ret, type), ...)``.
+
+        Types are the IDL spellings (``u32``, ``ipv4net``, ...) so external
+        tooling (the ``repro.analysis`` conformance checker) can compare
+        signatures without importing :class:`XrlAtomType`.
+        """
+        return (tuple((n, t.value) for n, t in self.params),
+                tuple((n, t.value) for n, t in self.returns))
 
     def check_args(self, args: XrlArgs) -> None:
         """Validate *args* against the declared parameters (BAD_ARGS on fail)."""
@@ -146,6 +178,16 @@ class XrlInterface:
     def fullname(self) -> str:
         return f"{self.name}/{self.version}"
 
+    def describe(self) -> Dict[str, Dict[str, Tuple[Tuple[str, str], ...]]]:
+        """Machine-readable catalogue entry: method -> params/returns."""
+        return {
+            method.name: {
+                "params": method.signature[0],
+                "returns": method.signature[1],
+            }
+            for method in self.methods.values()
+        }
+
     def add_method(self, method: XrlMethod) -> None:
         if method.name in self.methods:
             raise IdlError(f"duplicate method {method.name!r} in {self.fullname}")
@@ -211,35 +253,64 @@ class XrlClientStub:
 
 
 def parse_idl(text: str) -> Dict[str, XrlInterface]:
-    """Parse IDL text; return interfaces keyed by ``name/version``."""
-    stripped = _COMMENT_RE.sub("", text)
+    """Parse IDL text; return interfaces keyed by ``name/version``.
+
+    Malformed text raises :class:`IdlParseError` carrying the 1-based
+    source line of the offending declaration.  Comments and interface
+    bodies are blanked rather than excised while parsing, so character
+    offsets — and therefore reported line numbers — always refer to the
+    original *text*.
+    """
+    stripped = _COMMENT_RE.sub(
+        lambda m: re.sub(r"[^\n]", " ", m.group(0)), text)
+
+    def line_of(offset: int) -> int:
+        return stripped.count("\n", 0, offset) + 1
+
     interfaces: Dict[str, XrlInterface] = {}
-    matched_spans = []
+    leftovers = stripped
     for match in _IFACE_RE.finditer(stripped):
-        matched_spans.append(match.span())
+        leftovers = _blank_preserving_lines(leftovers, *match.span())
         name, version, body = match.groups()
         iface = XrlInterface(name, version)
+        iface_line = line_of(match.start())
+        body_start = match.start(3)
+        pos = 0
         for raw_line in body.split(";"):
+            chunk_offset = pos
+            pos += len(raw_line) + 1  # account for the ';' separator
             line = raw_line.strip()
             if not line:
                 continue
+            decl_line = line_of(
+                body_start + chunk_offset + len(raw_line) - len(raw_line.lstrip()))
             head, arrow, ret_text = line.partition("->")
             method_text = head.strip()
             method_name, qmark, param_text = method_text.partition("?")
             method_name = method_name.strip()
             if not _NAME_RE.match(method_name):
-                raise IdlError(f"bad method name {method_name!r} in {iface.fullname}")
-            params = _parse_params(param_text if qmark else "", method_name)
-            returns = _parse_params(ret_text if arrow else "", method_name)
+                raise IdlParseError(
+                    f"bad method name {method_name!r} in {iface.fullname}",
+                    decl_line)
+            params = _parse_params(param_text if qmark else "", method_name,
+                                   decl_line)
+            returns = _parse_params(ret_text if arrow else "", method_name,
+                                    decl_line)
+            if method_name in iface.methods:
+                raise IdlParseError(
+                    f"duplicate method {method_name!r} in {iface.fullname}",
+                    decl_line)
             iface.add_method(XrlMethod(method_name, params, returns))
         if iface.fullname in interfaces:
-            raise IdlError(f"duplicate interface {iface.fullname}")
+            raise IdlParseError(f"duplicate interface {iface.fullname}",
+                                iface_line)
         interfaces[iface.fullname] = iface
-    leftovers = stripped
-    for start, end in reversed(matched_spans):
-        leftovers = leftovers[:start] + leftovers[end:]
-    if leftovers.strip():
-        raise IdlError(f"unparsed IDL text: {leftovers.strip()[:80]!r}")
+    residue = leftovers.strip()
+    if residue:
+        first_bad = len(leftovers) - len(leftovers.lstrip())
+        raise IdlParseError(
+            f"unparsed IDL text: {' '.join(residue.split())[:80]!r}",
+            line_of(first_bad))
     if not interfaces:
-        raise IdlError("no interfaces found in IDL text")
+        raise IdlParseError("no interfaces found in IDL text", 1)
     return interfaces

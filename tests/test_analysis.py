@@ -1,0 +1,438 @@
+"""Tests for the architectural lint suite (:mod:`repro.analysis`).
+
+Three layers:
+
+* fixture snippets — one known-good and one known-bad case per checker,
+  run through :func:`analyze_source` with an explicit logical location;
+* mutation tests mirroring the acceptance criteria — a misspelled XRL
+  method and an inserted ``time.sleep()`` against copies of the *real*
+  source tree must each yield exactly one finding;
+* the CI gate — the shipped ``src/repro`` tree analyses clean.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, analyze_source
+from repro.analysis.core import RULES, scan_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# XRL conformance
+# ---------------------------------------------------------------------------
+
+class TestXrlConformance:
+    def test_good_send_site_clean(self):
+        source = (
+            "from repro.xrl import XrlArgs\n"
+            "from repro.xrl.xrl import Xrl\n"
+            "def go(router):\n"
+            "    args = XrlArgs().add_txt('protocol', 'rip')\n"
+            "    router.send(Xrl('rib', 'rib', '1.0', 'add_igp_table4',"
+            " args))\n"
+        )
+        assert analyze_source(source, logical=("rip", "process.py")) == []
+
+    def test_unknown_interface_xrl001(self):
+        source = (
+            "from repro.xrl.xrl import Xrl\n"
+            "def go(router):\n"
+            "    router.send(Xrl('rib', 'ribx', '1.0', 'add_igp_table4'))\n"
+        )
+        findings = analyze_source(source, logical=("rip", "process.py"))
+        assert rules_of(findings) == ["XRL001"]
+        assert findings[0].line == 3
+        assert "ribx" in findings[0].message
+
+    def test_unknown_method_xrl002(self):
+        source = (
+            "from repro.xrl.xrl import Xrl\n"
+            "def go(router):\n"
+            "    router.send(Xrl('rib', 'rib', '1.0', 'add_igp_table9'))\n"
+        )
+        findings = analyze_source(source, logical=("rip", "process.py"))
+        assert rules_of(findings) == ["XRL002"]
+        assert "add_igp_table9" in findings[0].message
+
+    def test_conditional_method_names_resolved(self):
+        source = (
+            "from repro.xrl.xrl import Xrl\n"
+            "def go(router, replace):\n"
+            "    method = 'replace_route9' if replace else 'add_route4'\n"
+            "    router.send(Xrl('rib', 'rib', '1.0', method))\n"
+        )
+        findings = analyze_source(source, logical=("rip", "process.py"))
+        assert rules_of(findings) == ["XRL002"]
+        assert "replace_route9" in findings[0].message
+
+    def test_wrong_arg_name_xrl003(self):
+        source = (
+            "from repro.xrl import XrlArgs\n"
+            "from repro.xrl.xrl import Xrl\n"
+            "def go(router):\n"
+            "    args = XrlArgs().add_txt('protokol', 'rip')\n"
+            "    router.send(Xrl('rib', 'rib', '1.0', 'add_igp_table4',"
+            " args))\n"
+        )
+        findings = analyze_source(source, logical=("rip", "process.py"))
+        assert rules_of(findings) == ["XRL003"]
+
+    def test_mutated_args_not_checked(self):
+        # The chain resolver must bail out (no XRL003) when the args
+        # variable is mutated after construction.
+        source = (
+            "from repro.xrl import XrlArgs\n"
+            "from repro.xrl.xrl import Xrl\n"
+            "def go(router, extra):\n"
+            "    args = XrlArgs().add_txt('protokol', 'rip')\n"
+            "    args.add_txt('protocol', extra)\n"
+            "    router.send(Xrl('rib', 'rib', '1.0', 'add_igp_table4',"
+            " args))\n"
+        )
+        assert analyze_source(source, logical=("rip", "process.py")) == []
+
+    def test_bound_handlers_complete_clean(self):
+        source = (
+            "from repro.interfaces import COMMON_IDL\n"
+            "class P:\n"
+            "    def __init__(self, xrl):\n"
+            "        xrl.bind(COMMON_IDL, self)\n"
+            "    def xrl_get_target_name(self):\n"
+            "        return 'p'\n"
+            "    def xrl_get_version(self):\n"
+            "        return '1'\n"
+            "    def xrl_get_status(self):\n"
+            "        return 'READY'\n"
+            "    def xrl_shutdown(self):\n"
+            "        pass\n"
+        )
+        assert analyze_source(source, logical=("rip", "process.py")) == []
+
+    def test_missing_handler_xrl004(self):
+        source = (
+            "from repro.interfaces import COMMON_IDL\n"
+            "class P:\n"
+            "    def __init__(self, xrl):\n"
+            "        xrl.bind(COMMON_IDL, self)\n"
+            "    def xrl_get_target_name(self):\n"
+            "        return 'p'\n"
+            "    def xrl_get_version(self):\n"
+            "        return '1'\n"
+            "    def xrl_get_status(self):\n"
+            "        return 'READY'\n"
+        )
+        findings = analyze_source(source, logical=("rip", "process.py"))
+        assert rules_of(findings) == ["XRL004"]
+        assert "shutdown" in findings[0].message
+
+    def test_handler_signature_xrl005(self):
+        source = (
+            "from repro.interfaces import COMMON_IDL\n"
+            "class P:\n"
+            "    def __init__(self, xrl):\n"
+            "        xrl.bind(COMMON_IDL, self)\n"
+            "    def xrl_get_target_name(self, which):\n"
+            "        return 'p'\n"
+            "    def xrl_get_version(self):\n"
+            "        return '1'\n"
+            "    def xrl_get_status(self):\n"
+            "        return 'READY'\n"
+            "    def xrl_shutdown(self):\n"
+            "        pass\n"
+        )
+        findings = analyze_source(source, logical=("rip", "process.py"))
+        assert rules_of(findings) == ["XRL005"]
+        assert "get_target_name" in findings[0].message
+
+    def test_textual_xrl006(self):
+        source = (
+            "from repro.xrl.call_xrl import call_xrl\n"
+            "def go(router):\n"
+            "    call_xrl(router, 'not an xrl at all')\n"
+        )
+        findings = analyze_source(source, logical=("rtrmgr", "template.py"))
+        assert rules_of(findings) == ["XRL006"]
+
+    def test_textual_good_clean(self):
+        source = (
+            "from repro.xrl.call_xrl import call_xrl\n"
+            "def go(router):\n"
+            "    call_xrl(router, 'finder://rib/rib/1.0/add_igp_table4"
+            "?protocol:txt=rip')\n"
+        )
+        assert analyze_source(source, logical=("rtrmgr", "template.py")) == []
+
+
+# ---------------------------------------------------------------------------
+# Isolation
+# ---------------------------------------------------------------------------
+
+class TestIsolation:
+    def test_process_importing_sibling_iso001(self):
+        source = "from repro.rib.rib import RibProcess\n"
+        findings = analyze_source(source, logical=("bgp", "process.py"))
+        assert rules_of(findings) == ["ISO001"]
+        assert findings[0].line == 1
+
+    def test_own_package_and_shared_clean(self):
+        source = (
+            "from repro.bgp.route import BGPRoute\n"
+            "from repro.core.process import XorpProcess\n"
+            "from repro.interfaces import BGP_IDL\n"
+            "from repro.xrl import XrlArgs\n"
+        )
+        assert analyze_source(source, logical=("bgp", "process.py")) == []
+
+    def test_shared_importing_process_iso002(self):
+        source = "from repro.bgp.route import BGPRoute\n"
+        findings = analyze_source(source, logical=("policy", "varrw.py"))
+        assert rules_of(findings) == ["ISO002"]
+
+    def test_dynamic_import_module_caught(self):
+        source = (
+            "from importlib import import_module\n"
+            "def load():\n"
+            "    return import_module('repro.ospf.process')\n"
+        )
+        findings = analyze_source(source, logical=("bgp", "process.py"))
+        assert rules_of(findings) == ["ISO001"]
+
+    def test_harness_packages_exempt(self):
+        source = (
+            "from repro.bgp.process import BgpProcess\n"
+            "from repro.rib.rib import RibProcess\n"
+        )
+        assert analyze_source(source, logical=("experiments", "x.py")) == []
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+class TestDeterminism:
+    def test_wall_clock_det001(self):
+        source = (
+            "import time\n"
+            "def now():\n"
+            "    return time.time()\n"
+        )
+        findings = analyze_source(source, logical=("bgp", "process.py"))
+        assert rules_of(findings) == ["DET001"]
+        assert findings[0].line == 3
+
+    def test_blocking_sleep_det002(self):
+        source = (
+            "import time\n"
+            "def wait():\n"
+            "    time.sleep(1.0)\n"
+        )
+        findings = analyze_source(source, logical=("bgp", "process.py"))
+        assert rules_of(findings) == ["DET002"]
+
+    def test_unseeded_random_det003(self):
+        source = (
+            "import random\n"
+            "def jitter():\n"
+            "    return random.random()\n"
+        )
+        findings = analyze_source(source, logical=("rip", "process.py"))
+        assert rules_of(findings) == ["DET003"]
+
+    def test_seeded_random_clean(self):
+        source = (
+            "import random\n"
+            "def jitter(seed):\n"
+            "    return random.Random(seed).random()\n"
+        )
+        assert analyze_source(source, logical=("rip", "process.py")) == []
+
+    def test_blocking_socket_det004(self):
+        source = (
+            "import socket\n"
+            "def connect():\n"
+            "    return socket.create_connection(('h', 1))\n"
+        )
+        findings = analyze_source(source, logical=("fea", "fea.py"))
+        assert rules_of(findings) == ["DET004"]
+
+    def test_eventloop_package_exempt(self):
+        source = (
+            "import time\n"
+            "def now():\n"
+            "    return time.time()\n"
+        )
+        assert analyze_source(source, logical=("eventloop", "clock.py")) == []
+
+    def test_transport_package_exempt(self):
+        source = (
+            "import socket\n"
+            "def make():\n"
+            "    return socket.socket()\n"
+        )
+        assert analyze_source(
+            source, logical=("xrl", "transport", "tcp.py")) == []
+
+
+# ---------------------------------------------------------------------------
+# Callback safety
+# ---------------------------------------------------------------------------
+
+class TestCallbackSafety:
+    def test_unguarded_deferred_lambda_cb001(self):
+        source = (
+            "class P:\n"
+            "    def start(self):\n"
+            "        self.loop.call_soon(lambda: self.items.clear())\n"
+        )
+        findings = analyze_source(source, logical=("bgp", "process.py"))
+        assert rules_of(findings) == ["CB001"]
+        assert findings[0].line == 3
+
+    def test_guarded_method_clean(self):
+        source = (
+            "class P:\n"
+            "    def start(self):\n"
+            "        self.loop.call_soon(self._tick)\n"
+            "    def _tick(self):\n"
+            "        if not self.running:\n"
+            "            return\n"
+            "        self.items.clear()\n"
+        )
+        assert analyze_source(source, logical=("bgp", "process.py")) == []
+
+    def test_call_later_checked_too(self):
+        source = (
+            "class P:\n"
+            "    def start(self):\n"
+            "        self.loop.call_later(1.0, lambda: self.items.clear())\n"
+        )
+        findings = analyze_source(source, logical=("bgp", "process.py"))
+        assert rules_of(findings) == ["CB001"]
+
+    def test_stateless_callback_clean(self):
+        source = (
+            "class P:\n"
+            "    def start(self, done):\n"
+            "        self.loop.call_soon(lambda: done(1))\n"
+        )
+        assert analyze_source(source, logical=("bgp", "process.py")) == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+class TestSuppressions:
+    def test_trailing_allow_silences(self):
+        source = (
+            "import time\n"
+            "def wait():\n"
+            "    time.sleep(1.0)  # repro: allow[DET002] test fixture\n"
+        )
+        assert analyze_source(source, logical=("bgp", "process.py")) == []
+
+    def test_comment_line_covers_next_line(self):
+        source = (
+            "import time\n"
+            "def wait():\n"
+            "    # repro: allow[DET002] test fixture\n"
+            "    time.sleep(1.0)\n"
+        )
+        assert analyze_source(source, logical=("bgp", "process.py")) == []
+
+    def test_allow_is_rule_specific(self):
+        source = (
+            "import time\n"
+            "def wait():\n"
+            "    time.sleep(1.0)  # repro: allow[DET001] wrong rule\n"
+        )
+        findings = analyze_source(source, logical=("bgp", "process.py"))
+        assert rules_of(findings) == ["DET002"]
+
+    def test_unknown_rule_sup001(self):
+        source = "x = 1  # repro: allow[BOGUS9]\n"
+        findings = analyze_source(source, logical=("core", "x.py"))
+        assert rules_of(findings) == ["SUP001"]
+        assert "BOGUS9" in findings[0].message
+
+    def test_docstrings_do_not_suppress(self):
+        source = '"""Docs mention # repro: allow[DET002] syntax."""\n'
+        assert scan_suppressions(source) == {}
+
+    def test_syntax_error_gen001(self, tmp_path):
+        bad = tmp_path / "repro" / "broken.py"
+        bad.parent.mkdir()
+        bad.write_text("def (:\n")
+        findings = analyze_paths([bad.parent])
+        assert rules_of(findings) == ["GEN001"]
+
+
+# ---------------------------------------------------------------------------
+# The CI gate and the acceptance-criteria mutations
+# ---------------------------------------------------------------------------
+
+def copy_tree(tmp_path: Path) -> Path:
+    """Copy src/repro to a tmp dir (keeping the 'repro' path anchor)."""
+    dest = tmp_path / "repro"
+    shutil.copytree(SRC_REPRO, dest,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    return dest
+
+
+class TestTreeGate:
+    def test_shipped_tree_is_clean(self):
+        findings = analyze_paths([SRC_REPRO])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_cli_exits_zero_on_clean_tree(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(SRC_REPRO)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin"},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_misspelled_xrl_method_one_finding(self, tmp_path):
+        tree = copy_tree(tmp_path)
+        rib = tree / "rib" / "rib.py"
+        text = rib.read_text()
+        assert '"add_entry4"' in text
+        rib.write_text(text.replace('"add_entry4"', '"add_entyr4"', 1))
+        findings = analyze_paths([tree])
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "XRL002"
+        assert finding.path.endswith("rib/rib.py")
+        assert finding.line == 152
+        assert "add_entyr4" in finding.message
+
+    def test_inserted_sleep_one_finding(self, tmp_path):
+        tree = copy_tree(tmp_path)
+        bgp = tree / "bgp" / "process.py"
+        lines = bgp.read_text().splitlines(keepends=True)
+        anchor = next(i for i, l in enumerate(lines)
+                      if "self.xrl.bind(BGP_IDL, self)" in l)
+        lines.insert(anchor, "        import time; time.sleep(0.1)\n")
+        bgp.write_text("".join(lines))
+        findings = analyze_paths([tree])
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "DET002"
+        assert finding.path.endswith("bgp/process.py")
+        assert finding.line == anchor + 1
+
+    def test_rule_registry_documented(self):
+        for rule_id, rule in RULES.items():
+            assert rule.summary, rule_id
+            assert rule_id == rule.id

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.xrl import IdlError, XrlArgs, XrlError, parse_idl
+from repro.xrl import IdlError, IdlParseError, XrlArgs, XrlError, parse_idl
 
 SAMPLE = """
 /* The RIB interface. */
@@ -70,6 +70,63 @@ class TestParsing:
     def test_duplicate_method_raises(self):
         with pytest.raises(IdlError):
             parse_idl("interface a/1.0 { m; m; }")
+
+
+class TestParseErrors:
+    """IdlParseError carries the offending line number and a clear message."""
+
+    def test_parse_error_is_idl_error(self):
+        with pytest.raises(IdlError):
+            parse_idl("")
+
+    def test_empty_text_line_one(self):
+        with pytest.raises(IdlParseError) as exc:
+            parse_idl("")
+        assert exc.value.line == 1
+        assert "no interface" in str(exc.value)
+
+    def test_duplicate_method_line(self):
+        text = "interface a/1.0 {\n    m;\n    m;\n}"
+        with pytest.raises(IdlParseError) as exc:
+            parse_idl(text)
+        assert exc.value.line == 3
+        assert "duplicate method" in str(exc.value)
+
+    def test_bad_type_line(self):
+        text = "interface a/1.0 {\n    m ? x:float;\n}"
+        with pytest.raises(IdlParseError) as exc:
+            parse_idl(text)
+        assert exc.value.line == 2
+        assert "float" in str(exc.value)
+
+    def test_leftover_text_line(self):
+        text = "interface a/1.0 {\n    m;\n}\ngarbage here"
+        with pytest.raises(IdlParseError) as exc:
+            parse_idl(text)
+        assert exc.value.line == 4
+
+    def test_bad_method_after_comment_keeps_line(self):
+        text = ("interface a/1.0 {\n"
+                "    /* a comment\n"
+                "       spanning lines */\n"
+                "    9bad;\n"
+                "}")
+        with pytest.raises(IdlParseError) as exc:
+            parse_idl(text)
+        assert exc.value.line == 4
+
+    def test_message_prefixed_with_line(self):
+        with pytest.raises(IdlParseError) as exc:
+            parse_idl("interface a/1.0 {\n    m ? x:nope;\n}")
+        assert str(exc.value).startswith("line 2:")
+
+    def test_duplicate_interface_line(self):
+        text = ("interface a/1.0 {\n    m;\n}\n"
+                "interface a/1.0 {\n    n;\n}")
+        with pytest.raises(IdlParseError) as exc:
+            parse_idl(text)
+        assert exc.value.line == 4
+        assert "duplicate interface" in str(exc.value)
 
 
 class TestSignatureChecks:
