@@ -8,11 +8,11 @@ wires this straight into the gate.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
 from repro.analysis.core import RULES
+from repro.analysis.report import FORMATS, render_findings
 from repro.analysis.runner import analyze_paths
 
 
@@ -34,7 +34,7 @@ def main(argv=None) -> int:
     parser.add_argument("--rule", action="append", dest="rules",
                         metavar="RULE",
                         help="only report this rule id (repeatable)")
-    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--format", choices=FORMATS, default="text")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     args = parser.parse_args(argv)
@@ -46,14 +46,11 @@ def main(argv=None) -> int:
 
     paths = args.paths or [_default_root()]
     findings = analyze_paths(paths, rules=args.rules)
-    if args.format == "json":
-        print(json.dumps([finding.__dict__ for finding in findings],
-                         indent=2))
-    else:
-        for finding in findings:
-            print(finding.render())
-        if findings:
-            print(f"{len(findings)} finding(s)", file=sys.stderr)
+    rendered = render_findings(findings, args.format)
+    if rendered:
+        print(rendered)
+    if findings and args.format == "text":
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
     return 1 if findings else 0
 
 

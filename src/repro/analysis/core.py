@@ -50,8 +50,33 @@ RULES: Dict[str, Rule] = {
              "§4"),
         Rule("DET004", "blocking socket/select call outside the transport "
                        "layer", "§4"),
+        Rule("DET005", "zero-delay timer sequences dependent work through "
+                       "the timer queue; same-deadline firing order is not "
+                       "guaranteed", "§4"),
         Rule("CB001", "deferred callback captures process state without a "
                       "liveness/generation guard", "§4"),
+        # Runtime rules: emitted by repro.sanitizer, never by the static
+        # checkers.  They live in the same catalogue so reports, formats
+        # and suppressions share one namespace.
+        Rule("SAN001", "add_route for a prefix already live on the same "
+                       "stage edge without an intervening delete_route "
+                       "(runtime, rule 1)", "§5"),
+        Rule("SAN002", "delete_route without a previously propagated "
+                       "add_route on the same stage edge (runtime, rule 1)",
+             "§5"),
+        Rule("SAN003", "replace_route for a prefix never added on the same "
+                       "stage edge (runtime, rule 1)", "§5"),
+        Rule("SAN004", "lookup_route answer contradicts the add/delete "
+                       "stream previously sent downstream (runtime, rule 2)",
+             "§5"),
+        Rule("SAN101", "dispatched XRL names an interface/version absent "
+                       "from the IDL catalogue (runtime)", "§6.1"),
+        Rule("SAN102", "dispatched XRL names a method its interface does "
+                       "not declare (runtime)", "§6.1"),
+        Rule("SAN103", "dispatched XRL arguments disagree with the IDL "
+                       "signature (runtime)", "§6.1"),
+        Rule("RACE001", "final state diverges across legal schedules of "
+                        "same-deadline events (ordering bug)", "§4"),
         Rule("SUP001", "suppression names an unknown rule id", "tooling"),
         Rule("GEN001", "file does not parse as Python", "tooling"),
     ]

@@ -11,9 +11,17 @@ the real world: ``eventloop/`` (the clock + poller) and
 ``xrl/transport/`` (real sockets).
 
 Rules: DET001 wall-clock reads, DET002 blocking sleeps, DET003 unseeded
-randomness, DET004 blocking socket/select calls.  The detection is
-name-based (``time.sleep`` spelled via an alias escapes) — this is a
-lint for honest code, not a sandbox.
+randomness, DET004 blocking socket/select calls, DET005 zero-delay
+timers.  The detection is name-based (``time.sleep`` spelled via an
+alias escapes) — this is a lint for honest code, not a sandbox.
+
+DET005 exists for the schedule explorer in ``repro.sanitizer``:
+``call_later(0, ...)`` parks work in the timer queue at the *current*
+deadline, so whether it runs before or after a sibling same-deadline
+timer is an accident of heap insertion order.  Code that needs
+"next iteration" ordering should say ``call_soon`` (FIFO within a
+batch is still not guaranteed under exploration, but intent is
+explicit); code that needs real delay should use a nonzero one.
 """
 
 from __future__ import annotations
@@ -49,9 +57,13 @@ _BLOCKING_SOCKET = {
 }
 
 
+#: timer-scheduling entry points whose first argument is a delay
+_DELAY_SCHEDULERS = {"call_later", "schedule_after"}
+
+
 class DeterminismChecker(Checker):
     name = "determinism"
-    rules = ("DET001", "DET002", "DET003", "DET004")
+    rules = ("DET001", "DET002", "DET003", "DET004", "DET005")
 
     def check(self, module: ModuleInfo, project: ProjectIndex
               ) -> Iterator[Finding]:
@@ -97,6 +109,16 @@ class DeterminismChecker(Checker):
                     path, node.lineno, "DET004",
                     f"{base}.{attr}() is blocking I/O; only "
                     "eventloop//xrl.transport may touch sockets")
+            elif (attr in _DELAY_SCHEDULERS and node.args
+                  and isinstance(node.args[0], ast.Constant)
+                  and isinstance(node.args[0].value, (int, float))
+                  and not isinstance(node.args[0].value, bool)
+                  and node.args[0].value == 0):
+                yield Finding(
+                    path, node.lineno, "DET005",
+                    f"{attr}(0, ...) relies on same-deadline timer order, "
+                    "which the schedule explorer deliberately permutes; use "
+                    "call_soon for next-iteration intent or a real delay")
 
 
 def _dotted_call(node: ast.Call) -> Optional[Tuple[str, str]]:

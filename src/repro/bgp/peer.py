@@ -32,6 +32,7 @@ from repro.core.stages import (
     FilterStage,
     OriginStage,
     RouteTableStage,
+    stream_reset,
 )
 from repro.net import IPNet, IPv4
 from repro.trie import RouteTrie
@@ -365,6 +366,11 @@ class PeerHandler(FsmActions):
         self.peer_out._pending.clear()
         if self.process.debug_cache_stages:
             self.out_cache.cache.clear()
+        # Tell any armed sanitizer the output branch's streams restarted:
+        # the wipe above is a legitimate reset, not missed deletes.
+        stream_reset(self.out_filter, self.peer_out)
+        if self.process.debug_cache_stages:
+            stream_reset(self.out_cache)
         if self.peer_in.route_count == 0:
             return
         old_routes = self.peer_in.routes

@@ -34,6 +34,63 @@ class ConsistencyError(AssertionError):
     """A stage observed a violation of the consistency rules."""
 
 
+# -- opt-in instrumentation (the repro.sanitizer hook point) -----------------
+#
+# The sanitizer must cost nothing when disarmed, so there is no
+# ``if instrumented:`` branch anywhere in the message hot path.  Instead a
+# hook receives every stage *class* — existing subclasses when installed,
+# future ones as they are defined (via ``__init_subclass__``) — and may
+# rebind methods on it; uninstalling is the hook owner's job (it restores
+# the originals it saved).  ``stream_reset`` is the one cooperative
+# notification: code that legitimately wipes per-stage state without
+# emitting deletes (e.g. BGP tearing down a peering's output branch on
+# session loss) announces it so shadow state tracking the §5 consistency
+# rules can be dropped there instead of misreported as violations.
+
+_instrumentation_hooks: List[Callable[[type], None]] = []
+_stream_reset_listeners: List[Callable[[tuple], None]] = []
+
+
+def all_stage_classes() -> List[type]:
+    """Every currently defined stage class, the base class included."""
+    seen: List[type] = []
+
+    def visit(cls: type) -> None:
+        if cls in seen:
+            return
+        seen.append(cls)
+        for sub in cls.__subclasses__():
+            visit(sub)
+
+    visit(RouteTableStage)
+    return seen
+
+
+def install_stage_instrumentation(hook: Callable[[type], None]) -> None:
+    """Register *hook* and apply it to every stage class, present and future."""
+    _instrumentation_hooks.append(hook)
+    for cls in all_stage_classes():
+        hook(cls)
+
+
+def uninstall_stage_instrumentation(hook: Callable[[type], None]) -> None:
+    _instrumentation_hooks.remove(hook)
+
+
+def add_stream_reset_listener(listener: Callable[[tuple], None]) -> None:
+    _stream_reset_listeners.append(listener)
+
+
+def remove_stream_reset_listener(listener: Callable[[tuple], None]) -> None:
+    _stream_reset_listeners.remove(listener)
+
+
+def stream_reset(*stages: "RouteTableStage") -> None:
+    """Announce that *stages* dropped route state without emitting deletes."""
+    for listener in list(_stream_reset_listeners):
+        listener(stages)
+
+
 class RouteTableStage:
     """Base stage: forwards everything, knows its neighbours.
 
@@ -47,6 +104,13 @@ class RouteTableStage:
         self.name = name
         self.parent: Optional["RouteTableStage"] = None
         self.next_table: Optional["RouteTableStage"] = None
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        # Classes defined while a sanitizer is armed get instrumented too
+        # (test-local stage subclasses, dynamically created stages).
+        for hook in _instrumentation_hooks:
+            hook(cls)
 
     # -- plumbing ------------------------------------------------------------
     def set_next(self, downstream: Optional["RouteTableStage"]) -> None:

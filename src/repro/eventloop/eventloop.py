@@ -46,6 +46,20 @@ class EventLoop:
         """Queue *cb* to run on the next loop iteration (an "event")."""
         self._deferred.append((cb, args))
 
+    def _drain_deferred(self) -> None:
+        """Run the callbacks queued before this iteration.
+
+        New callbacks queued by handlers run next time, preserving
+        fairness.  This is a named method (rather than inlined in
+        :meth:`run_once`) so the sanitizer's schedule explorer can patch
+        one dispatch point to permute the batch.
+        """
+        for __ in range(len(self._deferred)):
+            if not self._deferred:
+                break
+            cb, args = self._deferred.popleft()
+            cb(*args)
+
     # -- timers ---------------------------------------------------------------
     def call_later(self, delay: float, cb: Callable, *, name: str = "timer") -> Timer:
         return self.timers.schedule_after(delay, cb, name=name)
@@ -127,13 +141,7 @@ class EventLoop:
         ran = False
 
         if self._deferred:
-            # Drain only the callbacks queued before this iteration; new
-            # ones queued by handlers run next time, preserving fairness.
-            for __ in range(len(self._deferred)):
-                if not self._deferred:
-                    break
-                cb, args = self._deferred.popleft()
-                cb(*args)
+            self._drain_deferred()
             ran = True
 
         if self.timers.run_expired():

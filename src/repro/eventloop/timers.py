@@ -126,15 +126,30 @@ class TimerList:
             return None
         return self._heap[0][0]
 
+    def _pop_ready(self, now: float) -> Optional[Tuple[Timer, int]]:
+        """Pop the earliest live entry with ``expiry <= now``, or None.
+
+        Returns the timer plus the generation captured at pop time; a
+        caller that defers firing (the sanitizer's schedule explorer pops
+        a whole batch before firing any of it) must re-check
+        ``timer.scheduled and timer._gen == gen`` before firing, so a
+        timer cancelled or rescheduled by an earlier sibling stays dead.
+        """
+        self._drop_dead()
+        if not self._heap or self._heap[0][0] > now:
+            return None
+        __, __, gen, timer = heapq.heappop(self._heap)
+        return timer, gen
+
     def run_expired(self, limit: int = 64) -> int:
         """Fire up to *limit* timers whose expiry has passed; return count."""
         fired = 0
         now = self.clock.now()
         while fired < limit:
-            self._drop_dead()
-            if not self._heap or self._heap[0][0] > now:
+            entry = self._pop_ready(now)
+            if entry is None:
                 break
-            __, __, __, timer = heapq.heappop(self._heap)
+            timer, __ = entry
             if timer._interval is None:
                 timer._scheduled = False
             timer._fire()

@@ -1,0 +1,38 @@
+"""repro.sanitizer — runtime twin of the static lint suite.
+
+Three cooperating pieces, all reporting through the shared rule
+catalogue in :mod:`repro.analysis.core`:
+
+* :mod:`repro.sanitizer.stagesan` — §5 consistency rules checked on
+  every live stage-graph edge (SAN001–004);
+* :mod:`repro.sanitizer.xrlsan` — IDL conformance at the XRL dispatch
+  boundary (SAN101–103);
+* :mod:`repro.sanitizer.schedule` — deterministic exploration of
+  same-deadline event orderings, reporting state divergence (RACE001).
+
+``python -m repro.sanitizer`` runs the explorer (with the runtime
+sanitizers armed) over registered scenarios; the ``runtime_sanitizers``
+pytest fixture in ``tests/conftest.py`` arms the first two pieces
+inside ordinary integration tests.
+"""
+
+from repro.sanitizer.report import Violation, ViolationLog
+from repro.sanitizer.runtime import RuntimeSanitizer
+from repro.sanitizer.schedule import (
+    ExplorationReport,
+    ScheduleShuffler,
+    explore,
+)
+from repro.sanitizer.stagesan import StageSanitizer
+from repro.sanitizer.xrlsan import XrlDispatchSanitizer
+
+__all__ = [
+    "ExplorationReport",
+    "RuntimeSanitizer",
+    "ScheduleShuffler",
+    "StageSanitizer",
+    "Violation",
+    "ViolationLog",
+    "XrlDispatchSanitizer",
+    "explore",
+]

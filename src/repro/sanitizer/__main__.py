@@ -1,0 +1,87 @@
+"""CLI: ``python -m repro.sanitizer [--scenario NAME ...]``.
+
+Runs the schedule explorer — with the stage and XRL runtime sanitizers
+armed inside every run — over registered scenarios.  Exit status 0 when
+every schedule agrees and no runtime invariant fired, 1 otherwise: the
+dynamic half of the gate that ``python -m repro.analysis`` provides
+statically.
+
+Reports are deterministic: the same scenario and seed list produce a
+byte-identical ``--json-out`` file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from repro.analysis.core import Finding
+from repro.analysis.report import FORMATS, render_findings
+from repro.sanitizer import RuntimeSanitizer, explore
+from repro.sanitizer.scenarios import get, names
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitizer",
+        description="Runtime sanitizer: stage-graph consistency, XRL "
+                    "dispatch conformance, and schedule-exploration race "
+                    "detection over simulated scenarios.",
+    )
+    parser.add_argument("--scenario", action="append", dest="scenarios",
+                        metavar="NAME",
+                        help="scenario to explore (repeatable; default: all)")
+    parser.add_argument("--seeds", type=int, default=4, metavar="N",
+                        help="number of seeded schedule permutations per "
+                             "scenario (default: 4)")
+    parser.add_argument("--routes", type=int, default=24, metavar="N",
+                        help="route count for the routeflow scenario "
+                             "(default: 24)")
+    parser.add_argument("--format", choices=FORMATS, default="text")
+    parser.add_argument("--json-out", metavar="PATH",
+                        help="also write the full exploration report (all "
+                             "runs, schedules, fingerprints) as JSON")
+    parser.add_argument("--list-scenarios", action="store_true",
+                        help="print the scenario registry and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_scenarios:
+        for name in names():
+            print(f"{name}  {get(name).description}")
+        return 0
+
+    selected = args.scenarios or names()
+    seeds = list(range(1, args.seeds + 1))
+    reports = []
+    findings: List[Finding] = []
+    for name in selected:
+        scenario = get(name)
+        runner = scenario.runner(route_count=args.routes)
+        report = explore(runner, name=name, seeds=seeds,
+                         run_sanitizers=RuntimeSanitizer)
+        reports.append(report)
+        findings.extend(v.to_finding() for v in report.violations)
+
+    if args.json_out:
+        payload = {
+            "seeds": seeds,
+            "scenarios": [report.to_dict() for report in reports],
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    rendered = render_findings(findings, args.format)
+    if rendered:
+        print(rendered)
+    if args.format == "text":
+        total_runs = sum(len(report.runs) for report in reports)
+        print(f"{len(selected)} scenario(s), {total_runs} run(s), "
+              f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

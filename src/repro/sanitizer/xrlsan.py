@@ -1,0 +1,118 @@
+"""XRL dispatch sanitizer — IDL conformance at the runtime boundary.
+
+``repro.analysis`` rules XRL001–006 resolve statically every XRL whose
+interface/method/arguments are literal in the source.  XRLs assembled
+dynamically (method names from variables, args built in loops) escape
+that net; this sanitizer closes it by validating every ``XrlRouter.send``
+against the :mod:`repro.interfaces` catalogue at the moment of dispatch,
+turning would-be deep-in-handler failures into structured SAN101–103
+reports at the boundary — the analogue of XORP's marshaling checks.
+
+``bench/1.0`` is exempt by default: the scaling experiments deliberately
+serve it raw with varying atoms (see ``repro.interfaces``).
+
+Arming replaces ``XrlRouter.send`` at class level; disarming restores
+the original, so the disarmed path carries zero overhead.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, FrozenSet, Optional
+
+from repro import interfaces
+from repro.sanitizer.report import ViolationLog
+from repro.xrl import Xrl, XrlError, XrlInterface, XrlRouter
+
+#: interfaces intentionally dispatched without IDL conformance
+DEFAULT_EXEMPT: FrozenSet[str] = frozenset({"bench/1.0"})
+
+_armed_sanitizer: Optional["XrlDispatchSanitizer"] = None
+
+
+class XrlDispatchSanitizer:
+    """Validates every dispatched XRL against the IDL catalogue."""
+
+    def __init__(self, log: Optional[ViolationLog] = None, *,
+                 exempt: FrozenSet[str] = DEFAULT_EXEMPT):
+        self.log = log if log is not None else ViolationLog()
+        self.exempt = frozenset(exempt)
+        self.checked = 0
+        self._catalogue: Dict[str, XrlInterface] = {}
+        self._original_send = None
+        self._armed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def arm(self) -> None:
+        global _armed_sanitizer
+        if self._armed:
+            return
+        if _armed_sanitizer is not None:
+            raise RuntimeError("another XrlDispatchSanitizer is already armed")
+        _armed_sanitizer = self
+        self._armed = True
+        self._catalogue = interfaces.catalogue()
+        original = XrlRouter.__dict__["send"]
+        self._original_send = original
+        sanitizer = self
+
+        @functools.wraps(original)
+        def send(router, xrl, callback=None, *, deadline=None, retry=None):
+            sanitizer._observe(router, xrl)
+            return original(router, xrl, callback,
+                            deadline=deadline, retry=retry)
+
+        send._repro_sanitizer_original = original  # type: ignore[attr-defined]
+        XrlRouter.send = send
+
+    def disarm(self) -> None:
+        global _armed_sanitizer
+        if not self._armed:
+            return
+        XrlRouter.send = self._original_send
+        self._original_send = None
+        self._armed = False
+        _armed_sanitizer = None
+
+    def __enter__(self) -> "XrlDispatchSanitizer":
+        self.arm()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.disarm()
+
+    @property
+    def violations(self):
+        return self.log.violations
+
+    # -- the check ---------------------------------------------------------
+    def _observe(self, router: XrlRouter, xrl: Xrl) -> None:
+        fullname = f"{xrl.interface}/{xrl.version}"
+        if fullname in self.exempt:
+            return
+        self.checked += 1
+        origin = (f"{router.instance_name} -> {xrl.target} "
+                  f"{xrl.method_path}")
+        iface = self._catalogue.get(fullname)
+        if iface is None:
+            self.log.record(
+                "SAN101", origin,
+                f"dispatched XRL names interface {fullname!r}, absent from "
+                "the IDL catalogue",
+                {"interface": fullname})
+            return
+        method = iface.methods.get(xrl.method)
+        if method is None:
+            self.log.record(
+                "SAN102", origin,
+                f"interface {fullname!r} declares no method {xrl.method!r}",
+                {"interface": fullname, "method": xrl.method})
+            return
+        try:
+            method.check_args(xrl.args)
+        except XrlError as exc:
+            self.log.record(
+                "SAN103", origin,
+                f"arguments disagree with the IDL signature: {exc}",
+                {"interface": fullname, "method": xrl.method,
+                 "args": sorted(atom.name for atom in xrl.args)})

@@ -1,0 +1,26 @@
+"""Shared fixtures: opt-in runtime sanitizers for integration tests.
+
+``runtime_sanitizers`` arms the stage-graph consistency sanitizer and
+the XRL dispatch sanitizer (see :mod:`repro.sanitizer`) around a test
+and asserts at teardown that the run produced **zero** violations — the
+dynamic analogue of the clean-tree gate in ``test_analysis.py``.  Tests
+opt in with ``pytest.mark.usefixtures("runtime_sanitizers")`` (or a
+module-level ``pytestmark``); everything else runs uninstrumented.
+"""
+
+import pytest
+
+from repro.sanitizer import RuntimeSanitizer
+
+
+@pytest.fixture
+def runtime_sanitizers():
+    sanitizer = RuntimeSanitizer()
+    sanitizer.arm()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.disarm()
+    rendered = "\n".join(v.render() for v in sanitizer.violations)
+    assert not sanitizer.violations, (
+        f"runtime sanitizer violations:\n{rendered}")

@@ -274,6 +274,38 @@ class TestDeterminism:
         )
         assert analyze_source(source, logical=("eventloop", "clock.py")) == []
 
+    def test_zero_delay_timer_det005(self):
+        source = (
+            "def sequence(self):\n"
+            "    self.loop.call_later(0, self.second_half)\n"
+        )
+        findings = analyze_source(source, logical=("bgp", "process.py"))
+        assert rules_of(findings) == ["DET005"]
+
+    def test_zero_delay_float_schedule_after_det005(self):
+        source = (
+            "def sequence(self):\n"
+            "    self.timers.schedule_after(0.0, self.second_half)\n"
+        )
+        findings = analyze_source(source, logical=("rib", "rib.py"))
+        assert rules_of(findings) == ["DET005"]
+
+    def test_nonzero_delay_clean(self):
+        source = (
+            "def sequence(self):\n"
+            "    self.loop.call_later(0.5, self.second_half)\n"
+            "    self.loop.call_soon(self.other_half)\n"
+        )
+        assert analyze_source(source, logical=("bgp", "process.py")) == []
+
+    def test_det005_suppressible(self):
+        source = (
+            "def kick(self):\n"
+            "    # repro: allow[DET005] order among kicks is immaterial\n"
+            "    self.loop.call_later(0, self.poll)\n"
+        )
+        assert analyze_source(source, logical=("bgp", "process.py")) == []
+
     def test_transport_package_exempt(self):
         source = (
             "import socket\n"
@@ -436,3 +468,45 @@ class TestTreeGate:
         for rule_id, rule in RULES.items():
             assert rule.summary, rule_id
             assert rule_id == rule.id
+
+
+class TestReportFormats:
+    """The shared text/json/github renderers used by both CLIs."""
+
+    def _finding(self):
+        from repro.analysis.core import Finding
+
+        return Finding(path="src/repro/bgp/process.py", line=42,
+                       rule="DET002", message="time.sleep() blocks, 100%")
+
+    def test_github_annotation_shape_and_escaping(self):
+        from repro.analysis.report import render_findings
+
+        rendered = render_findings([self._finding()], "github")
+        assert rendered.startswith("::error file=src/repro/bgp/process.py,"
+                                   "line=42,title=DET002::")
+        assert "100%25" in rendered  # '%' escaped per workflow-command rules
+        assert "\n" not in rendered
+
+    def test_json_rendering_is_stable(self):
+        import json
+
+        from repro.analysis.report import render_findings
+
+        first = render_findings([self._finding()], "json")
+        second = render_findings([self._finding()], "json")
+        assert first == second
+        assert json.loads(first)[0]["rule"] == "DET002"
+
+    def test_cli_github_format(self, tmp_path):
+        bad = tmp_path / "process.py"
+        bad.write_text("import time\ntime.sleep(1.0)\n")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--format", "github",
+             str(bad)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin"},
+        )
+        assert result.returncode == 1
+        assert result.stdout.startswith("::error file=")
+        assert "DET002" in result.stdout

@@ -8,6 +8,14 @@ from repro.net import IPNet, IPv4
 from repro.rtrmgr import Cli, RouterManager
 from repro.simnet import SimNetwork
 
+# Arm the runtime sanitizers (stage-graph consistency + XRL
+# dispatch conformance) for every test in this module; the
+# conftest fixture asserts zero violations at teardown.  Autouse
+# at module level so it arms before class setup_method fixtures.
+@pytest.fixture(autouse=True)
+def _runtime_sanitizers(runtime_sanitizers):
+    yield runtime_sanitizers
+
 
 def net(text):
     return IPNet.parse(text)

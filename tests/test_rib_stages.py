@@ -7,6 +7,14 @@ from repro.net import IPNet, IPv4
 from repro.rib import ExtIntStage, MergeStage, RedistStage, RegisterStage, RibRoute
 from repro.rib.route import preferred
 
+# Arm the runtime sanitizers (stage-graph consistency + XRL
+# dispatch conformance) for every test in this module; the
+# conftest fixture asserts zero violations at teardown.  Autouse
+# at module level so it arms before class setup_method fixtures.
+@pytest.fixture(autouse=True)
+def _runtime_sanitizers(runtime_sanitizers):
+    yield runtime_sanitizers
+
 
 def net(text):
     return IPNet.parse(text)
