@@ -1,0 +1,121 @@
+"""Batch-size sweeps: the perf trajectory behind the batched-flow API.
+
+Two sweeps over batch sizes 1 / 16 / 256 (singular baseline, a
+peering-burst-sized batch, a resync-sized batch):
+
+* Figure 9 hot path — the XRL transaction with the sender coalescing
+  groups via ``send(batch=True)``;
+* Figure 13 hot path — routes through origin -> staged pipeline ->
+  pipelined XRLs -> FEA FIB, singular entry points vs
+  ``originate_batch``/``withdraw_batch``.
+
+Each test writes its sweep into the committed trajectory artifact
+(``BENCH_fig09.json`` / ``BENCH_fig13.json`` at the repo root) so future
+PRs regress against recorded numbers; CI uploads both as artifacts.
+
+Env knobs: ``REPRO_FIG09_BATCH_TXN`` (transaction size),
+``REPRO_FIG13_BATCH_ROUTES`` (routes per sweep point),
+``REPRO_BATCH_REPS`` (best-of repetitions for the fig13 sweep).
+"""
+
+from pathlib import Path
+
+from conftest import env_int
+
+from repro.experiments.batchflow import (
+    BATCH_SIZES,
+    record_trajectory,
+    run_route_batch_sweep,
+    run_xrl_batch_sweep,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FIG09_TXN = env_int("REPRO_FIG09_BATCH_TXN", 5000)
+FIG13_SWEEP_ROUTES = env_int("REPRO_FIG13_BATCH_ROUTES", 2048)
+BATCH_REPS = env_int("REPRO_BATCH_REPS", 3)
+
+#: this PR's entry in the trajectory ("the first entries of the
+#: benchmark JSON trajectory")
+ISSUE = 4
+LABEL = "batched route flow & XRL pipelining"
+
+
+def test_fig09_batch_sweep(benchmark):
+    box = {}
+
+    def run():
+        box["rates"] = run_xrl_batch_sweep(
+            BATCH_SIZES, transaction_size=FIG09_TXN,
+            families=["intra", "tcp"])
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rates = box["rates"]
+    print()
+    for family, table in rates.items():
+        for size, rate in sorted(table.items()):
+            print(f"{family:>6} batch {size:>3}: {rate:>9.0f} XRLs/s "
+                  f"({rate / table[1]:.2f}x singular)")
+
+    for family, table in rates.items():
+        # Coalescing must not cost throughput anywhere; on the framed
+        # TCP transport it buys a measurable win (fewer flushes).
+        assert table[256] > 0.9 * table[1], (family, table)
+        benchmark.extra_info[f"{family}_speedup_256"] = round(
+            table[256] / table[1], 3)
+
+    entry = {
+        "issue": ISSUE,
+        "label": LABEL,
+        "transaction_size": FIG09_TXN,
+        "xrls_per_sec": {
+            family: {str(size): round(rate, 1)
+                     for size, rate in sorted(table.items())}
+            for family, table in rates.items()
+        },
+        "speedup_256_vs_1": {
+            family: round(table[256] / table[1], 3)
+            for family, table in rates.items()
+        },
+    }
+    record_trajectory(REPO_ROOT / "BENCH_fig09.json", "fig09",
+                      "XRLs/sec by (family, batch size)", entry)
+
+
+def test_fig13_batch_sweep(benchmark):
+    box = {}
+
+    def run():
+        box["rates"] = run_route_batch_sweep(
+            BATCH_SIZES, route_count=FIG13_SWEEP_ROUTES,
+            repetitions=BATCH_REPS)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rates = box["rates"]
+    print()
+    for size, rate in sorted(rates.items()):
+        print(f"route flow batch {size:>3}: {rate:>9.0f} routes/s "
+              f"({rate / rates[1]:.2f}x singular)")
+
+    speedup = rates[256] / rates[1]
+    benchmark.extra_info["routes"] = FIG13_SWEEP_ROUTES
+    benchmark.extra_info["speedup_256_vs_1"] = round(speedup, 3)
+    benchmark.extra_info["speedup_16_vs_1"] = round(rates[16] / rates[1], 3)
+
+    entry = {
+        "issue": ISSUE,
+        "label": LABEL,
+        "route_count": FIG13_SWEEP_ROUTES,
+        "routes_per_sec": {str(size): round(rate, 1)
+                           for size, rate in sorted(rates.items())},
+        "speedup_16_vs_1": round(rates[16] / rates[1], 3),
+        "speedup_256_vs_1": round(speedup, 3),
+    }
+    record_trajectory(REPO_ROOT / "BENCH_fig13.json", "fig13",
+                      "routes/sec through RIB->FEA (adds + withdrawals)",
+                      entry)
+
+    # The acceptance bar: vectorized flow is >= 1.5x the singular
+    # baseline at batch size 256.
+    assert speedup >= 1.5, (
+        f"batch-256 route flow only {speedup:.2f}x the singular baseline")

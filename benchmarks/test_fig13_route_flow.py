@@ -73,7 +73,7 @@ def test_fig13_sanitizer_overhead(benchmark):
     pristine_methods = {
         name: RouteTableStage.__dict__[name]
         for name in ("add_route", "delete_route", "replace_route",
-                     "lookup_route")
+                     "lookup_route", "add_routes", "delete_routes")
         if name in RouteTableStage.__dict__
     }
     pristine_send = XrlRouter.__dict__["send"]
@@ -126,7 +126,8 @@ def test_fig13_sanitizer_overhead(benchmark):
     assert XrlRouter.__dict__["send"] is pristine_send
     for cls in stages_module.all_stage_classes():
         for name in ("add_route", "delete_route", "replace_route",
-                     "lookup_route", "insert_downstream", "unplumb"):
+                     "lookup_route", "add_routes", "delete_routes",
+                     "insert_downstream", "unplumb"):
             fn = cls.__dict__.get(name)
             assert fn is None or not hasattr(
                 fn, "_repro_sanitizer_original"), (

@@ -55,6 +55,9 @@ RULES: Dict[str, Rule] = {
                        "guaranteed", "§4"),
         Rule("CB001", "deferred callback captures process state without a "
                       "liveness/generation guard", "§4"),
+        Rule("STG001", "stage message passes or declares 'caller' "
+                       "positionally; the API requires it keyword-only",
+             "§5"),
         # Runtime rules: emitted by repro.sanitizer, never by the static
         # checkers.  They live in the same catalogue so reports, formats
         # and suppressions share one namespace.

@@ -26,6 +26,7 @@ def default_checkers() -> List[Checker]:
     from repro.analysis.callbacks import CallbackSafetyChecker
     from repro.analysis.determinism import DeterminismChecker
     from repro.analysis.isolation import IsolationChecker
+    from repro.analysis.stagecheck import StageMessageChecker
     from repro.analysis.xrlcheck import XrlConformanceChecker
 
     return [
@@ -33,6 +34,7 @@ def default_checkers() -> List[Checker]:
         IsolationChecker(),
         DeterminismChecker(),
         CallbackSafetyChecker(),
+        StageMessageChecker(),
     ]
 
 

@@ -81,7 +81,8 @@ class DampingStage(RouteTableStage):
         return self._decayed(info) if info is not None else 0.0
 
     # -- stage messages ------------------------------------------------------
-    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_route(self, route: Any, *,
+                  caller: Optional[RouteTableStage] = None) -> None:
         info = self.info.get(route.net)
         if info is None:
             info = DampInfo()
@@ -97,12 +98,13 @@ class DampingStage(RouteTableStage):
             return
         info.announced = True
         info.held_route = None
-        super().add_route(route, caller)
+        super().add_route(route, caller=caller)
 
-    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def delete_route(self, route: Any, *,
+                     caller: Optional[RouteTableStage] = None) -> None:
         info = self.info.get(route.net)
         if info is None:
-            super().delete_route(route, caller)
+            super().delete_route(route, caller=caller)
             return
         self._charge(info, WITHDRAWAL_PENALTY)
         if info.suppressed:
@@ -110,10 +112,10 @@ class DampingStage(RouteTableStage):
             return
         if info.announced:
             info.announced = False
-            super().delete_route(route, caller)
+            super().delete_route(route, caller=caller)
 
-    def replace_route(self, old_route: Any, new_route: Any,
-                      caller: RouteTableStage = None) -> None:
+    def replace_route(self, old_route: Any, new_route: Any, *,
+                      caller: Optional[RouteTableStage] = None) -> None:
         info = self.info.get(new_route.net)
         if info is None:
             info = DampInfo()
@@ -129,16 +131,17 @@ class DampingStage(RouteTableStage):
             info.held_route = new_route
             info.announced = False
             self.suppress_count += 1
-            super().delete_route(old_route, caller)
+            super().delete_route(old_route, caller=caller)
             return
         info.announced = True
-        super().replace_route(old_route, new_route, caller)
+        super().replace_route(old_route, new_route, caller=caller)
 
-    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+    def lookup_route(self, net: IPNet, *,
+                     caller: Optional[RouteTableStage] = None) -> Any:
         info = self.info.get(net)
         if info is not None and (info.suppressed or not info.announced):
             return None
-        return super().lookup_route(net, caller)
+        return super().lookup_route(net, caller=caller)
 
     # -- reuse ----------------------------------------------------------------
     def _reuse_scan(self) -> None:
@@ -149,7 +152,7 @@ class DampingStage(RouteTableStage):
                 info.held_route = None
                 if held is not None:
                     info.announced = True
-                    super().add_route(held, None)
+                    super().add_route(held, caller=None)
             if (not info.suppressed and not info.announced
                     and self._decayed(info) < 1.0):
                 del self.info[net]  # fully decayed; forget the prefix

@@ -98,14 +98,15 @@ class DecisionStage(RouteTableStage):
         for branch in self.branches:
             if branch is exclude:
                 continue
-            candidate = branch.lookup_route(net, self)
+            candidate = branch.lookup_route(net, caller=self)
             if candidate is None or not self._eligible(candidate):
                 continue
             best = candidate if best is None else self._better(best, candidate)
         return best
 
     # -- stage messages ----------------------------------------------------
-    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_route(self, route: Any, *,
+                  caller: Optional[RouteTableStage] = None) -> None:
         net = route.net
         incumbent = self.winners.get(net)
         if not self._eligible(route):
@@ -113,14 +114,47 @@ class DecisionStage(RouteTableStage):
         if incumbent is None:
             self.winners[net] = route
             if self.next_table is not None:
-                self.next_table.add_route(route, self)
+                self.next_table.add_route(route, caller=self)
             return
         if self._better(route, incumbent) is route:
             self.winners[net] = route
             if self.next_table is not None:
-                self.next_table.replace_route(incumbent, route, self)
+                self.next_table.replace_route(incumbent, route, caller=self)
 
-    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_routes(self, routes: List[Any], *,
+                   caller: Optional[RouteTableStage] = None) -> None:
+        # A peering burst is mostly fresh winners: coalesce those into
+        # one downstream batch; displacements flush and go out singular,
+        # keeping the per-prefix event order of the singular decomposition.
+        if self.next_table is None:
+            for route in routes:
+                if self._eligible(route):
+                    net = route.net
+                    incumbent = self.winners.get(net)
+                    if incumbent is None or self._better(route, incumbent) \
+                            is route:
+                        self.winners[net] = route
+            return
+        fresh: List[Any] = []
+        for route in routes:
+            if not self._eligible(route):
+                continue
+            net = route.net
+            incumbent = self.winners.get(net)
+            if incumbent is None:
+                self.winners[net] = route
+                fresh.append(route)
+            elif self._better(route, incumbent) is route:
+                if fresh:
+                    self.next_table.add_routes(fresh, caller=self)
+                    fresh = []
+                self.winners[net] = route
+                self.next_table.replace_route(incumbent, route, caller=self)
+        if fresh:
+            self.next_table.add_routes(fresh, caller=self)
+
+    def delete_route(self, route: Any, *,
+                     caller: Optional[RouteTableStage] = None) -> None:
         net = route.net
         incumbent = self.winners.get(net)
         if incumbent is None or incumbent is not route:
@@ -132,14 +166,49 @@ class DecisionStage(RouteTableStage):
         if replacement is not None:
             self.winners[net] = replacement
             if self.next_table is not None:
-                self.next_table.replace_route(incumbent, replacement, self)
+                self.next_table.replace_route(incumbent, replacement,
+                                              caller=self)
         else:
             del self.winners[net]
             if self.next_table is not None:
-                self.next_table.delete_route(incumbent, self)
+                self.next_table.delete_route(incumbent, caller=self)
 
-    def replace_route(self, old_route: Any, new_route: Any,
-                      caller: RouteTableStage = None) -> None:
+    def delete_routes(self, routes: List[Any], *,
+                      caller: Optional[RouteTableStage] = None) -> None:
+        # Deletes of losing alternatives vanish; deleted winners without a
+        # surviving alternative coalesce into one downstream batch, and
+        # re-elections flush the segment and emit their replace singular.
+        if self.next_table is None:
+            for route in routes:
+                if self.winners.get(route.net) is route:
+                    replacement = self._elect(route.net, exclude=caller)
+                    if replacement is not None:
+                        self.winners[route.net] = replacement
+                    else:
+                        del self.winners[route.net]
+            return
+        gone: List[Any] = []
+        for route in routes:
+            net = route.net
+            incumbent = self.winners.get(net)
+            if incumbent is None or incumbent is not route:
+                continue
+            replacement = self._elect(net, exclude=caller)
+            if replacement is not None:
+                if gone:
+                    self.next_table.delete_routes(gone, caller=self)
+                    gone = []
+                self.winners[net] = replacement
+                self.next_table.replace_route(incumbent, replacement,
+                                              caller=self)
+            else:
+                del self.winners[net]
+                gone.append(incumbent)
+        if gone:
+            self.next_table.delete_routes(gone, caller=self)
+
+    def replace_route(self, old_route: Any, new_route: Any, *,
+                      caller: Optional[RouteTableStage] = None) -> None:
         net = new_route.net
         incumbent = self.winners.get(net)
         if incumbent is old_route:
@@ -152,20 +221,21 @@ class DecisionStage(RouteTableStage):
             if not candidates:
                 del self.winners[net]
                 if self.next_table is not None:
-                    self.next_table.delete_route(incumbent, self)
+                    self.next_table.delete_route(incumbent, caller=self)
                 return
             winner = candidates[0]
             for candidate in candidates[1:]:
                 winner = self._better(winner, candidate)
             self.winners[net] = winner
             if self.next_table is not None:
-                self.next_table.replace_route(incumbent, winner, self)
+                self.next_table.replace_route(incumbent, winner, caller=self)
             return
         # Another branch revised a non-winning route: treat as an add
         # (it may now beat the incumbent).
-        self.add_route(new_route, caller)
+        self.add_route(new_route, caller=caller)
 
-    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+    def lookup_route(self, net: IPNet, *,
+                     caller: Optional[RouteTableStage] = None) -> Any:
         """Downstream consumers see only winners (consistency rule 2)."""
         return self.winners.get(net)
 

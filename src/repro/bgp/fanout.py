@@ -19,7 +19,7 @@ otherwise the dump itself will deliver the post-change state.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Optional, Set
+from typing import Any, Callable, Deque, Dict, List, Optional, Set
 
 from repro.core.stages import RouteTableStage
 from repro.eventloop.tasks import TaskPriority
@@ -130,26 +130,42 @@ class FanoutQueue(RouteTableStage):
             self._schedule_pump(reader)
 
     # -- stage messages ----------------------------------------------------
-    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_route(self, route: Any, *,
+                  caller: Optional[RouteTableStage] = None) -> None:
         self.winners.insert(route.net, route)
         self._enqueue(ADD, route, None)
 
-    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_routes(self, routes: List[Any], *,
+                   caller: Optional[RouteTableStage] = None) -> None:
+        for route in routes:
+            self.winners.insert(route.net, route)
+        self._enqueue_batch(ADD, routes)
+
+    def delete_route(self, route: Any, *,
+                     caller: Optional[RouteTableStage] = None) -> None:
         self.winners.discard(route.net)
         self._enqueue(DELETE, route, None)
 
-    def replace_route(self, old_route: Any, new_route: Any,
-                      caller: RouteTableStage = None) -> None:
+    def delete_routes(self, routes: List[Any], *,
+                      caller: Optional[RouteTableStage] = None) -> None:
+        for route in routes:
+            self.winners.discard(route.net)
+        self._enqueue_batch(DELETE, routes)
+
+    def replace_route(self, old_route: Any, new_route: Any, *,
+                      caller: Optional[RouteTableStage] = None) -> None:
         self.winners.insert(new_route.net, new_route)
         self._enqueue(REPLACE, new_route, old_route)
 
-    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+    def lookup_route(self, net: IPNet, *,
+                     caller: Optional[RouteTableStage] = None) -> Any:
         return self.winners.exact(net)
 
     # -- queueing --------------------------------------------------------
-    def _enqueue(self, op: str, route: Any, old_route: Any) -> None:
+    def _dump_skip_set(self, key) -> Optional[Set[str]]:
+        """Dumping readers whose dump will still reach *key* (they must not
+        also see it through the queue)."""
         skip: Optional[Set[str]] = None
-        key = route.net.key()
         for reader in self.readers.values():
             if not reader.dumping:
                 continue
@@ -160,12 +176,36 @@ class FanoutQueue(RouteTableStage):
                 if skip is None:
                     skip = set()
                 skip.add(reader.name)
+        return skip
+
+    def _enqueue(self, op: str, route: Any, old_route: Any) -> None:
+        skip = self._dump_skip_set(route.net.key())
         entry = _QueueEntry(self._next_serial, op, route, old_route, skip)
         self._next_serial += 1
         self.queue.append(entry)
         if not self.readers:
             self.queue.clear()  # nobody will ever read this
             return
+        for reader in self.readers.values():
+            self._schedule_pump(reader)
+
+    def _enqueue_batch(self, op: str, routes: List[Any]) -> None:
+        """Append a whole burst, then schedule each reader's pump once.
+
+        Dump front keys are computed per entry (they are monotone, and a
+        dump advances only in background tasks, but prefix keys within a
+        batch are not sorted so each route must be classified itself);
+        the per-batch saving is the single pump scheduling pass.
+        """
+        if not self.readers:
+            return
+        any_dumping = any(r.dumping for r in self.readers.values())
+        for route in routes:
+            skip = self._dump_skip_set(route.net.key()) if any_dumping \
+                else None
+            self.queue.append(
+                _QueueEntry(self._next_serial, op, route, None, skip))
+            self._next_serial += 1
         for reader in self.readers.values():
             self._schedule_pump(reader)
 

@@ -220,7 +220,14 @@ class NotificationMessage:
             raise BGPDecodeError(
                 "short NOTIFICATION", ErrorCode.MESSAGE_HEADER_ERROR
             )
-        return cls(ErrorCode(body[0]), body[1], body[2:])
+        try:
+            code = ErrorCode(body[0])
+        except ValueError as exc:
+            raise BGPDecodeError(
+                f"unknown NOTIFICATION error code {body[0]}",
+                ErrorCode.MESSAGE_HEADER_ERROR,
+            ) from exc
+        return cls(code, body[1], body[2:])
 
     def __repr__(self) -> str:
         return f"Notification({self.code.name}/{self.subcode})"

@@ -201,7 +201,7 @@ class NexthopResolverStage(RouteTableStage):
         self.forwarded[route.net] = annotated
         self._nexthop_index.setdefault(route.nexthop, set()).add(route.net)
         if self.next_table is not None:
-            self.next_table.add_route(annotated, self)
+            self.next_table.add_route(annotated, caller=self)
 
     def _unindex(self, route: Any) -> None:
         nets = self._nexthop_index.get(route.nexthop)
@@ -211,7 +211,8 @@ class NexthopResolverStage(RouteTableStage):
                 del self._nexthop_index[route.nexthop]
 
     # -- stage messages ---------------------------------------------------
-    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_route(self, route: Any, *,
+                  caller: Optional[RouteTableStage] = None) -> None:
         net = route.net
         if net in self.waiting:
             self.waiting[net] = route  # superseded while parked
@@ -227,7 +228,8 @@ class NexthopResolverStage(RouteTableStage):
         synchronous = self.resolver.resolve(route.nexthop, answered)
         # On a cache hit `answered` already ran; nothing more to do.
 
-    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def delete_route(self, route: Any, *,
+                     caller: Optional[RouteTableStage] = None) -> None:
         net = route.net
         if net in self.waiting:
             del self.waiting[net]  # never made it downstream
@@ -237,17 +239,17 @@ class NexthopResolverStage(RouteTableStage):
             return  # consistency: nothing to delete downstream
         self._unindex(annotated)
         if self.next_table is not None:
-            self.next_table.delete_route(annotated, self)
+            self.next_table.delete_route(annotated, caller=self)
 
-    def replace_route(self, old_route: Any, new_route: Any,
-                      caller: RouteTableStage = None) -> None:
+    def replace_route(self, old_route: Any, new_route: Any, *,
+                      caller: Optional[RouteTableStage] = None) -> None:
         net = new_route.net
         if net in self.waiting:
             self.waiting[net] = new_route
             return
         previous = self.forwarded.get(net)
         if previous is None:
-            self.add_route(new_route, caller)
+            self.add_route(new_route, caller=caller)
             return
 
         def answered(resolvable: bool, metric: int) -> None:
@@ -264,12 +266,13 @@ class NexthopResolverStage(RouteTableStage):
             self.forwarded[net] = annotated
             self._nexthop_index.setdefault(parked.nexthop, set()).add(net)
             if self.next_table is not None:
-                self.next_table.replace_route(current, annotated, self)
+                self.next_table.replace_route(current, annotated, caller=self)
 
         self.waiting[net] = new_route
         self.resolver.resolve(new_route.nexthop, answered)
 
-    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+    def lookup_route(self, net: IPNet, *,
+                     caller: Optional[RouteTableStage] = None) -> Any:
         """Consistent with what flowed downstream: the forwarded version."""
         return self.forwarded.get(net)
 
@@ -294,4 +297,4 @@ class NexthopResolverStage(RouteTableStage):
                                           resolvable=resolvable)
             self.forwarded[net] = annotated
             if self.next_table is not None:
-                self.next_table.replace_route(current, annotated, self)
+                self.next_table.replace_route(current, annotated, caller=self)

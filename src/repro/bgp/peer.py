@@ -79,16 +79,28 @@ class PeerOutStage(RouteTableStage):
         self._flush_scheduled = False
         self.updates_sent = 0
 
-    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_route(self, route: Any, *,
+                  caller: Optional[RouteTableStage] = None) -> None:
         self._pending.append(("add", route, None))
         self._schedule_flush()
 
-    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_routes(self, routes: List[Any], *,
+                   caller: Optional[RouteTableStage] = None) -> None:
+        self._pending.extend(("add", route, None) for route in routes)
+        self._schedule_flush()
+
+    def delete_route(self, route: Any, *,
+                     caller: Optional[RouteTableStage] = None) -> None:
         self._pending.append(("delete", route, None))
         self._schedule_flush()
 
-    def replace_route(self, old_route: Any, new_route: Any,
-                      caller: RouteTableStage = None) -> None:
+    def delete_routes(self, routes: List[Any], *,
+                      caller: Optional[RouteTableStage] = None) -> None:
+        self._pending.extend(("delete", route, None) for route in routes)
+        self._schedule_flush()
+
+    def replace_route(self, old_route: Any, new_route: Any, *,
+                      caller: Optional[RouteTableStage] = None) -> None:
         # A BGP announcement for a prefix implicitly replaces the previous
         # one, so a replace is just a fresh announcement.
         self._pending.append(("add", new_route, old_route))
@@ -271,11 +283,11 @@ class PeerHandler(FsmActions):
                 if old_out is not None and new_out is not None:
                     if old_out != new_out:
                         downstream.replace_route(old_out, new_out,
-                                                 self.in_filter)
+                                                 caller=self.in_filter)
                 elif old_out is not None:
-                    downstream.delete_route(old_out, self.in_filter)
+                    downstream.delete_route(old_out, caller=self.in_filter)
                 elif new_out is not None:
-                    downstream.add_route(new_out, self.in_filter)
+                    downstream.add_route(new_out, caller=self.in_filter)
             return True
 
         self.loop.spawn_task(run_slice, priority=TaskPriority.BACKGROUND,
@@ -309,11 +321,11 @@ class PeerHandler(FsmActions):
                 if old_out is not None and new_out is not None:
                     if old_out != new_out:
                         downstream.replace_route(old_out, new_out,
-                                                 self.out_filter)
+                                                 caller=self.out_filter)
                 elif old_out is not None:
-                    downstream.delete_route(old_out, self.out_filter)
+                    downstream.delete_route(old_out, caller=self.out_filter)
                 elif new_out is not None:
-                    downstream.add_route(new_out, self.out_filter)
+                    downstream.add_route(new_out, caller=self.out_filter)
             return True
 
         self.loop.spawn_task(run_slice, priority=TaskPriority.BACKGROUND,
@@ -394,18 +406,25 @@ class PeerHandler(FsmActions):
             self.fsm.message_received(message)
 
     def update_received(self, update: UpdateMessage) -> None:
-        """FSM callback: apply one UPDATE to the PeerIn stage."""
+        """FSM callback: apply one UPDATE to the PeerIn stage.
+
+        The UPDATE's prefixes enter the pipeline as batches (a peering
+        burst is the paper's hot path): one ``withdraw_batch`` and one
+        ``originate_batch`` instead of a pipeline traversal per prefix.
+        """
         self.updates_received += 1
         prof = self.process.prof_ribin
-        for net in update.withdrawn:
-            prof.log(f"delete {net}")
-            self.peer_in.withdraw_if_present(net)
+        if update.withdrawn:
+            for net in update.withdrawn:
+                prof.log(f"delete {net}")
+            self.peer_in.withdraw_batch(update.withdrawn)
         if update.nlri:
             attributes = update.attributes
+            routes = []
             for net in update.nlri:
                 prof.log(f"add {net}")
-                route = BGPRoute(net, attributes, peer_id=self.peer_id)
-                self.peer_in.originate(route)
+                routes.append(BGPRoute(net, attributes, peer_id=self.peer_id))
+            self.peer_in.originate_batch(routes)
 
     # -- outbound updates -----------------------------------------------------
     def _send_update(self, update: UpdateMessage) -> None:

@@ -220,7 +220,11 @@ class BgpProcess(XorpProcess):
                     .add_list("policytags", []))
             method = "add_route4" if op == "add" else "replace_route4"
             xrl = Xrl(self.rib_target, "rib", "1.0", method, args)
-        self.txq.enqueue(xrl, on_sent=lambda: self._prof_sent_rib.log(data))
+        # The fanout pump delivers a whole burst within one event-loop
+        # turn; the batch hint lets the XRL layer frame those calls as one
+        # wire flush (a lone send just defers one turn).
+        self.txq.enqueue(xrl, on_sent=lambda: self._prof_sent_rib.log(data),
+                         batch=True)
 
     # -- policy/0.1: the policy process pushes compiled-from-source filters --
     #: XORP's filter ids: 1 = import, 2 = source-match export, 4 = export

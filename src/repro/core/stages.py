@@ -20,6 +20,16 @@ with the two consistency rules:
    ``add_route`` / ``delete_route`` messages sent downstream.
 
 Routes are any objects with a ``.net`` attribute (an :class:`IPNet`).
+
+Batched flow: ``add_routes`` / ``delete_routes`` carry a whole burst of
+routes in one call.  A batch is *semantically identical* to issuing its
+constituent singular calls in order — that is the batch contract, and it
+is what keeps the two consistency rules meaningful under batching: a
+stage may process a batch with one downstream dispatch, but the
+per-prefix event order it emits must match the singular decomposition.
+The ``caller`` argument is keyword-only on the whole message API so call
+sites read unambiguously and stages can add positional parameters
+without breaking callers.
 """
 
 from __future__ import annotations
@@ -145,31 +155,52 @@ class RouteTableStage:
         self.next_table = None
 
     # -- the stage message API (paper §5.1) -----------------------------------
-    def add_route(self, route: Any, caller: "RouteTableStage" = None) -> None:
+    def add_route(self, route: Any, *,
+                  caller: Optional["RouteTableStage"] = None) -> None:
         """Receive a new route from upstream; default: pass it on."""
         if self.next_table is not None:
-            self.next_table.add_route(route, self)
+            self.next_table.add_route(route, caller=self)
 
-    def delete_route(self, route: Any, caller: "RouteTableStage" = None) -> None:
+    def delete_route(self, route: Any, *,
+                     caller: Optional["RouteTableStage"] = None) -> None:
         """Receive a withdrawal from upstream; default: pass it on."""
         if self.next_table is not None:
-            self.next_table.delete_route(route, self)
+            self.next_table.delete_route(route, caller=self)
 
-    def replace_route(self, old_route: Any, new_route: Any,
-                      caller: "RouteTableStage" = None) -> None:
+    def replace_route(self, old_route: Any, new_route: Any, *,
+                      caller: Optional["RouteTableStage"] = None) -> None:
         """Atomic delete+add for the same prefix; default decomposition."""
         if self.next_table is not None:
-            self.next_table.replace_route(old_route, new_route, self)
+            self.next_table.replace_route(old_route, new_route, caller=self)
 
-    def lookup_route(self, net: IPNet, caller: "RouteTableStage" = None) -> Any:
+    def lookup_route(self, net: IPNet, *,
+                     caller: Optional["RouteTableStage"] = None) -> Any:
         """A later stage asks for the route to *net*; default: ask upstream.
 
         "If the stage cannot answer the request itself, it should pass the
         request upstream to the preceding stage."
         """
         if self.parent is not None:
-            return self.parent.lookup_route(net, self)
+            return self.parent.lookup_route(net, caller=self)
         return None
+
+    # -- the batched message API ----------------------------------------------
+    def add_routes(self, routes: List[Any], *,
+                   caller: Optional["RouteTableStage"] = None) -> None:
+        """Receive a burst of new routes; semantically N ``add_route`` calls.
+
+        The default decomposes into singular calls; hot stages override
+        it to amortize per-call overhead (one downstream dispatch per
+        batch) while preserving the singular per-prefix event order.
+        """
+        for route in routes:
+            self.add_route(route, caller=caller)
+
+    def delete_routes(self, routes: List[Any], *,
+                      caller: Optional["RouteTableStage"] = None) -> None:
+        """Receive a burst of withdrawals; semantically N ``delete_route``."""
+        for route in routes:
+            self.delete_route(route, caller=caller)
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
@@ -196,24 +227,65 @@ class OriginStage(RouteTableStage):
         if self.next_table is None:
             return
         if previous is not None:
-            self.next_table.replace_route(previous, route, self)
+            self.next_table.replace_route(previous, route, caller=self)
         else:
-            self.next_table.add_route(route, self)
+            self.next_table.add_route(route, caller=self)
+
+    def originate_batch(self, routes: List[Any]) -> None:
+        """Inject a burst of routes with one downstream dispatch per segment.
+
+        Fresh prefixes accumulate into ``add_routes`` batches; a route
+        that replaces a stored one flushes the accumulated segment first
+        and then emits the singular ``replace_route``, so the downstream
+        per-prefix event order is exactly the singular decomposition.
+        """
+        if self.next_table is None:
+            for route in routes:
+                self.routes.insert(route.net, route)
+            return
+        fresh: List[Any] = []
+        for route in routes:
+            previous = self.routes.insert(route.net, route)
+            if previous is not None:
+                if fresh:
+                    self.next_table.add_routes(fresh, caller=self)
+                    fresh = []
+                self.next_table.replace_route(previous, route, caller=self)
+            else:
+                fresh.append(route)
+        if fresh:
+            self.next_table.add_routes(fresh, caller=self)
 
     def withdraw(self, net: IPNet) -> Any:
         """Withdraw the route for *net*; returns it (KeyError if absent)."""
         route = self.routes.remove(net)
         if self.next_table is not None:
-            self.next_table.delete_route(route, self)
+            self.next_table.delete_route(route, caller=self)
         return route
 
     def withdraw_if_present(self, net: IPNet) -> Any:
         route = self.routes.discard(net)
         if route is not None and self.next_table is not None:
-            self.next_table.delete_route(route, self)
+            self.next_table.delete_route(route, caller=self)
         return route
 
-    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+    def withdraw_batch(self, nets: List[IPNet]) -> List[Any]:
+        """Withdraw a burst of prefixes (absent ones are skipped).
+
+        Returns the removed routes; downstream sees one
+        ``delete_routes`` batch.
+        """
+        removed: List[Any] = []
+        for net in nets:
+            route = self.routes.discard(net)
+            if route is not None:
+                removed.append(route)
+        if removed and self.next_table is not None:
+            self.next_table.delete_routes(removed, caller=self)
+        return removed
+
+    def lookup_route(self, net: IPNet, *,
+                     caller: Optional[RouteTableStage] = None) -> Any:
         return self.routes.exact(net)
 
     # Origin stages answer dumps: iterate stored routes safely.
@@ -234,33 +306,54 @@ class FilterStage(RouteTableStage):
         super().__init__(name)
         self.filter_fn = filter_fn
 
-    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_route(self, route: Any, *,
+                  caller: Optional[RouteTableStage] = None) -> None:
         filtered = self.filter_fn(route)
         if filtered is not None and self.next_table is not None:
-            self.next_table.add_route(filtered, self)
+            self.next_table.add_route(filtered, caller=self)
 
-    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def delete_route(self, route: Any, *,
+                     caller: Optional[RouteTableStage] = None) -> None:
         filtered = self.filter_fn(route)
         if filtered is not None and self.next_table is not None:
-            self.next_table.delete_route(filtered, self)
+            self.next_table.delete_route(filtered, caller=self)
 
-    def replace_route(self, old_route: Any, new_route: Any,
-                      caller: RouteTableStage = None) -> None:
+    def add_routes(self, routes: List[Any], *,
+                   caller: Optional[RouteTableStage] = None) -> None:
+        # One pass over the batch, one downstream dispatch: the filter
+        # function (possibly a compiled policy program) stays hot across
+        # the whole burst instead of being re-entered per call chain.
+        filter_fn = self.filter_fn
+        passed = [f for f in map(filter_fn, routes) if f is not None]
+        if passed and self.next_table is not None:
+            self.next_table.add_routes(passed, caller=self)
+
+    def delete_routes(self, routes: List[Any], *,
+                      caller: Optional[RouteTableStage] = None) -> None:
+        filter_fn = self.filter_fn
+        passed = [f for f in map(filter_fn, routes) if f is not None]
+        if passed and self.next_table is not None:
+            self.next_table.delete_routes(passed, caller=self)
+
+    def replace_route(self, old_route: Any, new_route: Any, *,
+                      caller: Optional[RouteTableStage] = None) -> None:
         old_filtered = self.filter_fn(old_route)
         new_filtered = self.filter_fn(new_route)
         if self.next_table is None:
             return
         if old_filtered is not None and new_filtered is not None:
-            self.next_table.replace_route(old_filtered, new_filtered, self)
+            self.next_table.replace_route(old_filtered, new_filtered,
+                                          caller=self)
         elif old_filtered is not None:
-            self.next_table.delete_route(old_filtered, self)
+            self.next_table.delete_route(old_filtered, caller=self)
         elif new_filtered is not None:
-            self.next_table.add_route(new_filtered, self)
+            self.next_table.add_route(new_filtered, caller=self)
 
-    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+    def lookup_route(self, net: IPNet, *,
+                     caller: Optional[RouteTableStage] = None) -> Any:
         if self.parent is None:
             return None
-        route = self.parent.lookup_route(net, self)
+        route = self.parent.lookup_route(net, caller=self)
         if route is None:
             return None
         return self.filter_fn(route)
@@ -284,7 +377,8 @@ class ConsistencyCheckStage(RouteTableStage):
         self.checks_failed = 0
         self.strict_lookup = strict_lookup
 
-    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_route(self, route: Any, *,
+                  caller: Optional[RouteTableStage] = None) -> None:
         if self.cache.exact(route.net) is not None:
             self.checks_failed += 1
             raise ConsistencyError(
@@ -292,9 +386,10 @@ class ConsistencyCheckStage(RouteTableStage):
                 "added and never deleted (rule 1)"
             )
         self.cache.insert(route.net, route)
-        super().add_route(route, caller)
+        super().add_route(route, caller=caller)
 
-    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def delete_route(self, route: Any, *,
+                     caller: Optional[RouteTableStage] = None) -> None:
         cached = self.cache.exact(route.net)
         if cached is None:
             self.checks_failed += 1
@@ -303,10 +398,10 @@ class ConsistencyCheckStage(RouteTableStage):
                 "corresponding add_route (rule 1)"
             )
         self.cache.remove(route.net)
-        super().delete_route(route, caller)
+        super().delete_route(route, caller=caller)
 
-    def replace_route(self, old_route: Any, new_route: Any,
-                      caller: RouteTableStage = None) -> None:
+    def replace_route(self, old_route: Any, new_route: Any, *,
+                      caller: Optional[RouteTableStage] = None) -> None:
         cached = self.cache.exact(old_route.net)
         if cached is None:
             self.checks_failed += 1
@@ -316,9 +411,10 @@ class ConsistencyCheckStage(RouteTableStage):
             )
         self.cache.remove(old_route.net)
         self.cache.insert(new_route.net, new_route)
-        super().replace_route(old_route, new_route, caller)
+        super().replace_route(old_route, new_route, caller=caller)
 
-    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+    def lookup_route(self, net: IPNet, *,
+                     caller: Optional[RouteTableStage] = None) -> Any:
         cached = self.cache.exact(net)
         if cached is not None:
             return cached
@@ -326,7 +422,7 @@ class ConsistencyCheckStage(RouteTableStage):
         # strict mode (single-branch pipelines) a route upstream that was
         # never announced downstream is a violation; in multi-branch
         # pipelines lookups legitimately see unannounced alternatives.
-        upstream = super().lookup_route(net, caller)
+        upstream = super().lookup_route(net, caller=caller)
         if upstream is not None and self.strict_lookup:
             raise ConsistencyError(
                 f"{self.name}: lookup_route({net}) found an upstream route "
@@ -383,7 +479,7 @@ class DeletionStage(RouteTableStage):
             self._iterator.advance()
             self.pending.discard(net)
             if self.next_table is not None:
-                self.next_table.delete_route(route, self)
+                self.next_table.delete_route(route, caller=self)
             budget -= 1
         if len(self.pending) == 0 and self._iterator.exhausted:
             self._finish()
@@ -402,25 +498,51 @@ class DeletionStage(RouteTableStage):
     def done(self) -> bool:
         return len(self.pending) == 0 and self._iterator.exhausted
 
-    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_route(self, route: Any, *,
+                  caller: Optional[RouteTableStage] = None) -> None:
         held = self.pending.discard(route.net)
         if held is not None and self.next_table is not None:
             # "first it sends a delete route downstream for the old route,
             # and then it sends the add route for the new route."
-            self.next_table.delete_route(held, self)
-        super().add_route(route, caller)
+            self.next_table.delete_route(held, caller=self)
+        super().add_route(route, caller=caller)
 
-    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_routes(self, routes: List[Any], *,
+                   caller: Optional[RouteTableStage] = None) -> None:
+        # Per prefix the delete-before-add order is preserved; across
+        # prefixes all pending deletes are grouped ahead of the adds so
+        # the batch costs two downstream dispatches, not 2N.
+        if self.next_table is None:
+            for route in routes:
+                self.pending.discard(route.net)
+            return
+        helds = []
+        for route in routes:
+            held = self.pending.discard(route.net)
+            if held is not None:
+                helds.append(held)
+        if helds:
+            self.next_table.delete_routes(helds, caller=self)
+        self.next_table.add_routes(routes, caller=self)
+
+    def delete_route(self, route: Any, *,
+                     caller: Optional[RouteTableStage] = None) -> None:
         # Upstream deletes refer to its own (new-generation) routes; a held
         # prefix can't also exist upstream, so simply forward.
-        super().delete_route(route, caller)
+        super().delete_route(route, caller=caller)
 
-    def replace_route(self, old_route: Any, new_route: Any,
-                      caller: RouteTableStage = None) -> None:
-        super().replace_route(old_route, new_route, caller)
+    def delete_routes(self, routes: List[Any], *,
+                      caller: Optional[RouteTableStage] = None) -> None:
+        if self.next_table is not None:
+            self.next_table.delete_routes(routes, caller=self)
 
-    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+    def replace_route(self, old_route: Any, new_route: Any, *,
+                      caller: Optional[RouteTableStage] = None) -> None:
+        super().replace_route(old_route, new_route, caller=caller)
+
+    def lookup_route(self, net: IPNet, *,
+                     caller: Optional[RouteTableStage] = None) -> Any:
         held = self.pending.exact(net)
         if held is not None:
             return held
-        return super().lookup_route(net, caller)
+        return super().lookup_route(net, caller=caller)

@@ -37,7 +37,8 @@ class XrlTransmitQueue:
             raise ValueError(f"window must be >= 1, got {window}")
         self._router = router
         self._window = window
-        self._queue: Deque[Tuple[Xrl, Optional[Callable], Optional[Callable]]] = deque()
+        self._queue: Deque[Tuple[Xrl, Optional[Callable], Optional[Callable],
+                                 bool]] = deque()
         self._inflight = 0
         self._on_error = on_error
         self._retry = retry
@@ -57,21 +58,34 @@ class XrlTransmitQueue:
 
     def enqueue(self, xrl: Xrl,
                 on_sent: Optional[Callable[[], None]] = None,
-                on_reply: Optional[Callable[[XrlError, XrlArgs], None]] = None
-                ) -> None:
-        """Queue *xrl*; *on_sent* fires when it is handed to the transport."""
-        self._queue.append((xrl, on_sent, on_reply))
+                on_reply: Optional[Callable[[XrlError, XrlArgs], None]] = None,
+                *, batch: bool = False) -> None:
+        """Queue *xrl*; *on_sent* fires when it is handed to the transport.
+
+        *batch* is forwarded to :meth:`XrlRouter.send`: enqueues from one
+        burst (a batched stage delivering a route batch downstream) then
+        coalesce on the wire within the event-loop turn.
+        """
+        self._queue.append((xrl, on_sent, on_reply, batch))
+        self._pump()
+
+    def enqueue_batch(self, items) -> None:
+        """Queue several ``(xrl, on_sent, on_reply)`` tuples with the batch
+        hint set, draining the window in one pass."""
+        for xrl, on_sent, on_reply in items:
+            self._queue.append((xrl, on_sent, on_reply, True))
         self._pump()
 
     def _pump(self) -> None:
         while self._inflight < self._window and self._queue:
-            xrl, on_sent, on_reply = self._queue.popleft()
+            xrl, on_sent, on_reply, batch = self._queue.popleft()
             self._inflight += 1
             self.sent_count += 1
             if on_sent is not None:
                 on_sent()
             self._router.send(xrl, self._completion(xrl, on_reply),
-                              retry=self._retry, deadline=self._deadline)
+                              retry=self._retry, deadline=self._deadline,
+                              batch=batch)
 
     def _completion(self, xrl: Xrl, on_reply) -> Callable:
         def done(error: XrlError, args: XrlArgs) -> None:

@@ -10,12 +10,21 @@ One module per experiment family:
 * :mod:`repro.experiments.routeflow` — Figure 13: per-route propagation
   delay through a router under test (XORP stack vs. event-driven and
   30-second-scanner baselines);
+* :mod:`repro.experiments.batchflow` — batch-size sweeps of the two hot
+  paths (Fig. 9 coalesced XRLs, Fig. 13 vectorized route flow) and the
+  ``BENCH_fig09.json`` / ``BENCH_fig13.json`` perf trajectory;
 * :mod:`repro.experiments.synth`     — synthetic backbone feed generator
   (the stand-in for the paper's 146,515-route Internet feed);
 * :mod:`repro.experiments.recovery`  — supervised crash recovery: kill
   BGP mid-session under seeded frame loss, measure time-to-reconverge.
 """
 
+from repro.experiments.batchflow import (
+    BATCH_SIZES,
+    record_trajectory,
+    run_route_batch_sweep,
+    run_xrl_batch_sweep,
+)
 from repro.experiments.synth import synthetic_feed
 from repro.experiments.xrlperf import XrlPerfResult, run_xrl_throughput
 from repro.experiments.latency import LatencyResult, run_latency_experiment
@@ -23,13 +32,17 @@ from repro.experiments.recovery import RecoveryResult, run_recovery
 from repro.experiments.routeflow import RouteFlowResult, run_route_flow
 
 __all__ = [
+    "BATCH_SIZES",
     "LatencyResult",
     "RecoveryResult",
     "RouteFlowResult",
     "XrlPerfResult",
+    "record_trajectory",
     "run_latency_experiment",
     "run_recovery",
+    "run_route_batch_sweep",
     "run_route_flow",
+    "run_xrl_batch_sweep",
     "run_xrl_throughput",
     "synthetic_feed",
 ]

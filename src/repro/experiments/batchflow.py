@@ -1,0 +1,176 @@
+"""Batch-size sweeps for the two hot paths, plus the perf trajectory.
+
+ISSUE 4 makes batches the native unit of (1) the staged route tables and
+(2) the XRL layer.  This module measures what that buys, sweeping batch
+size over the values future PRs will regress against (1, 16, 256):
+
+* :func:`run_xrl_batch_sweep` — the Figure 9 transaction re-run with the
+  sender issuing coalesced groups (``XrlRouter.send(batch=True)``), per
+  transport family;
+* :func:`run_route_batch_sweep` — the Figure 13 hot path as a throughput
+  measurement: routes injected at a RIB origin table, through the staged
+  pipeline (ExtInt -> redist -> register -> FEA distributor) and over
+  pipelined XRLs into the FEA's FIB, then withdrawn again.  Batch size 1
+  uses the singular ``originate``/``withdraw`` entry points; larger sizes
+  use ``originate_batch``/``withdraw_batch``, so the sweep contrasts the
+  per-call API with the vectorized one end to end;
+* :func:`record_trajectory` — append-or-update one entry of the
+  ``BENCH_fig09.json`` / ``BENCH_fig13.json`` trajectory artifacts the
+  benchmark CI job publishes.
+
+Wall-clock reads below are the measurement itself, as in
+:mod:`repro.experiments.xrlperf`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.process import Host
+from repro.eventloop import EventLoop, SystemClock
+from repro.experiments.xrlperf import run_xrl_throughput
+from repro.net import IPNet, IPv4
+from repro.rib.route import RibRoute
+
+#: the canonical sweep: singular baseline, a peering-burst-sized batch,
+#: and a full-table-resync-sized batch
+BATCH_SIZES = (1, 16, 256)
+
+
+def run_xrl_batch_sweep(batch_sizes: Sequence[int] = BATCH_SIZES, *,
+                        transaction_size: int = 5000,
+                        window: int = 512,
+                        families: Optional[List[str]] = None,
+                        arg_count: int = 0) -> Dict[str, Dict[int, float]]:
+    """Figure 9 with coalescing: XRLs/sec per (family, batch size).
+
+    The window is held constant across batch sizes (and sized above the
+    largest batch) so the sweep isolates coalescing from pipelining
+    depth: batch size 1 is the original fully pipelined singular sender.
+    """
+    if families is None:
+        families = ["intra", "tcp"]
+    rates: Dict[str, Dict[int, float]] = {family: {} for family in families}
+    for size in batch_sizes:
+        result = run_xrl_throughput(
+            [arg_count], transaction_size=transaction_size,
+            window=max(window, size), families=list(families),
+            batch_size=size)
+        for family in families:
+            rates[family][size] = result.mean(family, arg_count)
+    return rates
+
+
+def _sweep_routes(count: int) -> List[RibRoute]:
+    """Distinct /24s under 10.0.0.0/8 with a common resolvable nexthop."""
+    routes = []
+    for index in range(count):
+        net = IPNet(IPv4(0x0A000000 + (index << 8)), 24)
+        routes.append(RibRoute(net, IPv4("10.0.0.1"), 1, "static",
+                               ifname="eth0"))
+    return routes
+
+
+def run_route_batch_sweep(batch_sizes: Sequence[int] = BATCH_SIZES, *,
+                          route_count: int = 2048,
+                          window: int = 512,
+                          repetitions: int = 1) -> Dict[int, float]:
+    """Routes/sec through origin -> staged pipeline -> XRLs -> FEA FIB.
+
+    Each sweep point builds a fresh RIB + FEA pair, injects *route_count*
+    routes in segments of the given batch size, waits for every route to
+    land in the FEA's FIB (and every XRL reply to drain), then withdraws
+    them all the same way.  The rate counts both directions: one "op" is
+    one add or one delete observed end to end.  With *repetitions* > 1
+    the best run per size is kept (noise on a shared machine only ever
+    slows a run down).
+    """
+    rates: Dict[int, float] = {}
+    for size in batch_sizes_guard(batch_sizes):
+        best = 0.0
+        for __ in range(max(1, repetitions)):
+            best = max(best, _route_batch_run(size, route_count, window))
+        rates[size] = best
+    return rates
+
+
+def _route_batch_run(size: int, route_count: int, window: int) -> float:
+    """One sweep point: build the stack, push + withdraw, return ops/sec."""
+    from repro.fea import FeaProcess
+    from repro.rib import RibProcess
+
+    loop = EventLoop(SystemClock())
+    host = Host(loop=loop)
+    fea = FeaProcess(host)
+    rib = RibProcess(host, window=window)
+    origin = rib.v4.origin("static")
+    routes = _sweep_routes(route_count)
+
+    # repro: allow[DET001] throughput benchmark: wall time IS the measurement
+    start = time.perf_counter()
+    if size <= 1:
+        for route in routes:
+            origin.originate(route)
+    else:
+        for index in range(0, route_count, size):
+            origin.originate_batch(routes[index:index + size])
+    if not loop.run_until(
+            lambda: len(fea.fib4) >= route_count and rib.txq.idle,
+            timeout=300.0):
+        raise RuntimeError(
+            f"batch {size}: only {len(fea.fib4)}/{route_count} routes "
+            f"reached the FEA")
+    if size <= 1:
+        for route in routes:
+            origin.withdraw(route.net)
+    else:
+        nets = [route.net for route in routes]
+        for index in range(0, route_count, size):
+            origin.withdraw_batch(nets[index:index + size])
+    if not loop.run_until(lambda: len(fea.fib4) == 0 and rib.txq.idle,
+                          timeout=300.0):
+        raise RuntimeError(
+            f"batch {size}: {len(fea.fib4)} routes still in the FEA "
+            f"after withdrawal")
+    elapsed = time.perf_counter() - start  # repro: allow[DET001] benchmark timing
+    rib.shutdown()
+    fea.shutdown()
+    return 2 * route_count / elapsed
+
+
+def batch_sizes_guard(batch_sizes: Sequence[int]) -> List[int]:
+    sizes = [int(size) for size in batch_sizes]
+    if any(size < 1 for size in sizes):
+        raise ValueError(f"batch sizes must be >= 1, got {sizes}")
+    return sizes
+
+
+def record_trajectory(path, figure: str, unit: str,
+                      entry: Dict) -> Dict:
+    """Append-or-update one *entry* of a benchmark trajectory file.
+
+    The file holds ``{"figure", "unit", "trajectory": [...]}``; entries
+    are keyed by their ``"issue"`` field, so re-running a sweep for the
+    same PR updates its entry in place instead of growing the list.
+    Returns the full document as written.
+    """
+    path = Path(path)
+    if path.exists():
+        data = json.loads(path.read_text(encoding="utf-8"))
+    else:
+        data = {"figure": figure, "unit": unit, "trajectory": []}
+    data["figure"] = figure
+    data["unit"] = unit
+    trajectory = data.setdefault("trajectory", [])
+    for index, existing in enumerate(trajectory):
+        if existing.get("issue") == entry.get("issue"):
+            trajectory[index] = entry
+            break
+    else:
+        trajectory.append(entry)
+    path.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return data

@@ -195,7 +195,7 @@ def run_latency_experiment(*, initial_routes: int = 0,
             .add_ipv4net("net", "10.0.0.0/8").add_ipv4("nexthop", "0.0.0.0")
             .add_u32("metric", 1).add_list("policytags", []))
     error, __ = bgp.xrl.send_sync(Xrl("rib", "rib", "1.0", "add_route4", args),
-                                  timeout=10)
+                                  deadline=10)
     if not error.is_okay:
         raise RuntimeError(f"static route install failed: {error}")
 

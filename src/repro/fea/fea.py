@@ -81,6 +81,18 @@ class FeaProcess(XorpProcess):
         self.fib4.remove(net)
         self._prof_kernel.log(f"delete {net}")
 
+    def xrl_add_entries4(self, nets, nexthops, ifnames) -> None:
+        for net, nexthop, ifname in zip(nets, nexthops, ifnames):
+            self._prof_arrive.log(f"add {net.value}")
+            self.fib4.insert(FibEntry(net.value, nexthop.value, ifname.value))
+            self._prof_kernel.log(f"add {net.value}")
+
+    def xrl_delete_entries4(self, nets) -> None:
+        for net in nets:
+            self._prof_arrive.log(f"delete {net.value}")
+            self.fib4.remove(net.value)
+            self._prof_kernel.log(f"delete {net.value}")
+
     def xrl_lookup_entry4(self, addr) -> dict:
         entry = self.fib4.lookup(addr)
         if entry is None:
@@ -94,6 +106,14 @@ class FeaProcess(XorpProcess):
                 ifname = via.ifname
         return {"resolves": True, "net": entry.net,
                 "nexthop": entry.nexthop, "ifname": ifname}
+
+    def xrl_add_entries6(self, nets, nexthops, ifnames) -> None:
+        for net, nexthop, ifname in zip(nets, nexthops, ifnames):
+            self.fib6.insert(FibEntry(net.value, nexthop.value, ifname.value))
+
+    def xrl_delete_entries6(self, nets) -> None:
+        for net in nets:
+            self.fib6.remove(net.value)
 
     def xrl_add_entry6(self, net, nexthop, ifname) -> None:
         self.fib6.insert(FibEntry(net, nexthop, ifname))

@@ -66,6 +66,13 @@ interface fea_fib/1.0 {
     lookup_entry4 ? addr:ipv4 -> resolves:bool & net:ipv4net & nexthop:ipv4 & ifname:txt;
     add_entry6    ? net:ipv6net & nexthop:ipv6 & ifname:txt;
     delete_entry6 ? net:ipv6net;
+    /* Vectorized entry points: one XRL per route segment.  The lists
+       are parallel (nets[i] goes via nexthops[i] on ifnames[i]);
+       semantically identical to N singular calls, in order. */
+    add_entries4    ? nets:list & nexthops:list & ifnames:list;
+    delete_entries4 ? nets:list;
+    add_entries6    ? nets:list & nexthops:list & ifnames:list;
+    delete_entries6 ? nets:list;
 }
 
 interface fea_ifmgr/1.0 {

@@ -268,7 +268,7 @@ class OspfProcess(XorpProcess):
                 args = (XrlArgs().add_txt("protocol", "ospf")
                         .add_ipv4net("net", prefix))
                 self.xrl.send(Xrl(self.rib_target, "rib", "1.0",
-                                  "delete_route4", args))
+                                  "delete_route4", args), batch=True)
                 del self._installed[prefix]
         for prefix, (metric, nexthop) in desired.items():
             current = self._installed.get(prefix)
@@ -278,7 +278,9 @@ class OspfProcess(XorpProcess):
                     .add_ipv4net("net", prefix).add_ipv4("nexthop", nexthop)
                     .add_u32("metric", metric).add_list("policytags", []))
             method = "add_route4" if current is None else "replace_route4"
-            self.xrl.send(Xrl(self.rib_target, "rib", "1.0", method, args))
+            # A whole SPF install runs in one turn: coalesce on the wire.
+            self.xrl.send(Xrl(self.rib_target, "rib", "1.0", method, args),
+                          batch=True)
             self._installed[prefix] = (metric, nexthop)
 
     # -- common/0.1 ------------------------------------------------------------

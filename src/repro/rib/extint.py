@@ -19,7 +19,7 @@ and resolvability change.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Set
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.stages import RouteTableStage
 from repro.net import IPNet
@@ -39,6 +39,8 @@ class ExtIntStage(RouteTableStage):
         self.announced = RouteTrie(bits)
         #: nexthop address -> set of external prefixes using it
         self._nexthop_index: Dict[Any, Set[IPNet]] = {}
+        #: batch emission buffer; None outside add_routes/delete_routes
+        self._emissions: Optional[List[Tuple[str, Any, Any]]] = None
 
     # -- helpers ------------------------------------------------------------
     def _resolves(self, route: Any) -> bool:
@@ -60,6 +62,49 @@ class ExtIntStage(RouteTableStage):
             if not nets:
                 del self._nexthop_index[route.nexthop]
 
+    # -- emission (direct, or buffered during a batch) ----------------------
+    def _emit(self, op: str, route: Any, old_route: Any = None) -> None:
+        if self._emissions is not None:
+            self._emissions.append((op, route, old_route))
+            return
+        if self.next_table is None:
+            return
+        if op == "add":
+            self.next_table.add_route(route, caller=self)
+        elif op == "delete":
+            self.next_table.delete_route(route, caller=self)
+        else:
+            self.next_table.replace_route(old_route, route, caller=self)
+
+    def _flush_emissions(self, emissions: List[Tuple[str, Any, Any]]) -> None:
+        """Replay buffered emissions in order, grouping runs of same-op
+        add/delete into one downstream batch each."""
+        if self.next_table is None:
+            return
+        run_op: Optional[str] = None
+        run: List[Any] = []
+
+        def flush_run() -> None:
+            nonlocal run_op, run
+            if not run:
+                return
+            if run_op == "add":
+                self.next_table.add_routes(run, caller=self)
+            else:
+                self.next_table.delete_routes(run, caller=self)
+            run_op, run = None, []
+
+        for op, route, old_route in emissions:
+            if op == "replace":
+                flush_run()
+                self.next_table.replace_route(old_route, route, caller=self)
+                continue
+            if op != run_op:
+                flush_run()
+                run_op = op
+            run.append(route)
+        flush_run()
+
     # -- winner computation -------------------------------------------------
     def _reevaluate(self, net: IPNet) -> None:
         external = self.external.exact(net)
@@ -71,17 +116,14 @@ class ExtIntStage(RouteTableStage):
         if winner is None:
             if current is not None:
                 self.announced.discard(net)
-                if self.next_table is not None:
-                    self.next_table.delete_route(current, self)
+                self._emit("delete", current)
             return
         if current is None:
             self.announced.insert(net, winner)
-            if self.next_table is not None:
-                self.next_table.add_route(winner, self)
+            self._emit("add", winner)
         elif current is not winner:
             self.announced.insert(net, winner)
-            if self.next_table is not None:
-                self.next_table.replace_route(current, winner, self)
+            self._emit("replace", winner, current)
 
     def _reevaluate_externals_for(self, changed_net: IPNet) -> None:
         """Internal routing under *changed_net* changed: resolvability of
@@ -95,7 +137,8 @@ class ExtIntStage(RouteTableStage):
                 self._reevaluate(net)
 
     # -- message handling (routes classify themselves via is_external) --------
-    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_route(self, route: Any, *,
+                  caller: Optional[RouteTableStage] = None) -> None:
         if route.is_external:
             self.external.insert(route.net, route)
             self._index_add(route)
@@ -105,7 +148,12 @@ class ExtIntStage(RouteTableStage):
             self._reevaluate(route.net)
             self._reevaluate_externals_for(route.net)
 
-    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_routes(self, routes: List[Any], *,
+                   caller: Optional[RouteTableStage] = None) -> None:
+        self._batch(self.add_route, routes)
+
+    def delete_route(self, route: Any, *,
+                     caller: Optional[RouteTableStage] = None) -> None:
         if route.is_external:
             self.external.discard(route.net)
             self._index_remove(route)
@@ -115,12 +163,31 @@ class ExtIntStage(RouteTableStage):
             self._reevaluate(route.net)
             self._reevaluate_externals_for(route.net)
 
-    def replace_route(self, old_route: Any, new_route: Any,
-                      caller: RouteTableStage = None) -> None:
+    def delete_routes(self, routes: List[Any], *,
+                      caller: Optional[RouteTableStage] = None) -> None:
+        self._batch(self.delete_route, routes)
+
+    def _batch(self, singular: Any, routes: List[Any]) -> None:
+        """Run *singular* per route with emissions buffered, then flush the
+        buffer as segment-grouped downstream batches."""
+        if self._emissions is not None:  # nested batch: keep outer buffer
+            for route in routes:
+                singular(route)
+            return
+        self._emissions = []
+        try:
+            for route in routes:
+                singular(route)
+        finally:
+            emissions, self._emissions = self._emissions, None
+        self._flush_emissions(emissions)
+
+    def replace_route(self, old_route: Any, new_route: Any, *,
+                      caller: Optional[RouteTableStage] = None) -> None:
         if old_route.is_external != new_route.is_external:
             # Cannot happen with split ext/int sides, but stay safe.
-            self.delete_route(old_route, caller)
-            self.add_route(new_route, caller)
+            self.delete_route(old_route, caller=caller)
+            self.add_route(new_route, caller=caller)
             return
         if new_route.is_external:
             self._index_remove(old_route)
@@ -132,5 +199,6 @@ class ExtIntStage(RouteTableStage):
             self._reevaluate(new_route.net)
             self._reevaluate_externals_for(new_route.net)
 
-    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+    def lookup_route(self, net: IPNet, *,
+                     caller: Optional[RouteTableStage] = None) -> Any:
         return self.announced.exact(net)

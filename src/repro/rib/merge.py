@@ -13,7 +13,7 @@ downstream — the same technique BGP's decision process uses.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, List, Optional
 
 from repro.core.stages import RouteTableStage
 from repro.net import IPNet
@@ -45,48 +45,94 @@ class MergeStage(RouteTableStage):
         )
 
     # -- message handling ----------------------------------------------------
-    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_route(self, route: Any, *,
+                  caller: Optional[RouteTableStage] = None) -> None:
         if self.next_table is None:
             return
-        other = self._other_branch(caller).lookup_route(route.net, self)
+        other = self._other_branch(caller).lookup_route(route.net, caller=self)
         if other is None:
-            self.next_table.add_route(route, self)
+            self.next_table.add_route(route, caller=self)
         elif preferred(route, other) is route:
             # The new route displaces the other branch's incumbent.
-            self.next_table.replace_route(other, route, self)
+            self.next_table.replace_route(other, route, caller=self)
         # else: the other branch still wins; swallow silently.
 
-    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_routes(self, routes: List[Any], *,
+                   caller: Optional[RouteTableStage] = None) -> None:
+        # Segment-flush: consecutive plain adds coalesce into one
+        # downstream batch; a route that displaces the other branch's
+        # incumbent flushes the segment and emits its replace singly, so
+        # per-prefix ordering matches the singular decomposition.
         if self.next_table is None:
             return
-        other = self._other_branch(caller).lookup_route(route.net, self)
+        other_branch = self._other_branch(caller)
+        plain: List[Any] = []
+        for route in routes:
+            other = other_branch.lookup_route(route.net, caller=self)
+            if other is None:
+                plain.append(route)
+            elif preferred(route, other) is route:
+                if plain:
+                    self.next_table.add_routes(plain, caller=self)
+                    plain = []
+                self.next_table.replace_route(other, route, caller=self)
+        if plain:
+            self.next_table.add_routes(plain, caller=self)
+
+    def delete_route(self, route: Any, *,
+                     caller: Optional[RouteTableStage] = None) -> None:
+        if self.next_table is None:
+            return
+        other = self._other_branch(caller).lookup_route(route.net, caller=self)
         if other is None:
-            self.next_table.delete_route(route, self)
+            self.next_table.delete_route(route, caller=self)
         elif preferred(route, other) is route:
             # The departing route was the winner; the other branch takes over.
-            self.next_table.replace_route(route, other, self)
+            self.next_table.replace_route(route, other, caller=self)
         # else: the deleted route was never visible downstream.
 
-    def replace_route(self, old_route: Any, new_route: Any,
-                      caller: RouteTableStage = None) -> None:
+    def delete_routes(self, routes: List[Any], *,
+                      caller: Optional[RouteTableStage] = None) -> None:
         if self.next_table is None:
             return
-        other = self._other_branch(caller).lookup_route(new_route.net, self)
+        other_branch = self._other_branch(caller)
+        plain: List[Any] = []
+        for route in routes:
+            other = other_branch.lookup_route(route.net, caller=self)
+            if other is None:
+                plain.append(route)
+            elif preferred(route, other) is route:
+                if plain:
+                    self.next_table.delete_routes(plain, caller=self)
+                    plain = []
+                self.next_table.replace_route(route, other, caller=self)
+        if plain:
+            self.next_table.delete_routes(plain, caller=self)
+
+    def replace_route(self, old_route: Any, new_route: Any, *,
+                      caller: Optional[RouteTableStage] = None) -> None:
+        if self.next_table is None:
+            return
+        other = self._other_branch(caller).lookup_route(new_route.net,
+                                                        caller=self)
         if other is None:
-            self.next_table.replace_route(old_route, new_route, self)
+            self.next_table.replace_route(old_route, new_route, caller=self)
             return
         old_won = preferred(old_route, other) is old_route
         new_wins = preferred(new_route, other) is new_route
         if old_won and new_wins:
-            self.next_table.replace_route(old_route, new_route, self)
+            self.next_table.replace_route(old_route, new_route, caller=self)
         elif old_won and not new_wins:
-            self.next_table.replace_route(old_route, other, self)
+            self.next_table.replace_route(old_route, other, caller=self)
         elif not old_won and new_wins:
-            self.next_table.replace_route(other, new_route, self)
+            self.next_table.replace_route(other, new_route, caller=self)
         # else: the other branch won before and still wins; nothing changes.
 
-    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+    def lookup_route(self, net: IPNet, *,
+                     caller: Optional[RouteTableStage] = None) -> Any:
         """Downstream asks: answer with the preferred branch's route."""
-        route_a = self.parent_a.lookup_route(net, self) if self.parent_a else None
-        route_b = self.parent_b.lookup_route(net, self) if self.parent_b else None
+        route_a = (self.parent_a.lookup_route(net, caller=self)
+                   if self.parent_a else None)
+        route_b = (self.parent_b.lookup_route(net, caller=self)
+                   if self.parent_b else None)
         return preferred(route_a, route_b)

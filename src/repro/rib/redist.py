@@ -14,7 +14,7 @@ target via a callback, including an initial dump of pre-existing routes.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.stages import RouteTableStage
 from repro.net import IPNet
@@ -83,20 +83,43 @@ class RedistStage(RouteTableStage):
             target.callback("delete", known)
 
     # -- message handling ------------------------------------------------------
-    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_route(self, route: Any, *,
+                  caller: Optional[RouteTableStage] = None) -> None:
         self.winners.insert(route.net, route)
         for target in self._targets.values():
             self._offer(target, route)
-        super().add_route(route, caller)
+        super().add_route(route, caller=caller)
 
-    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_routes(self, routes: List[Any], *,
+                   caller: Optional[RouteTableStage] = None) -> None:
+        # Per-route winner/target bookkeeping, one downstream dispatch.
+        targets = self._targets.values()
+        for route in routes:
+            self.winners.insert(route.net, route)
+            for target in targets:
+                self._offer(target, route)
+        if self.next_table is not None:
+            self.next_table.add_routes(routes, caller=self)
+
+    def delete_route(self, route: Any, *,
+                     caller: Optional[RouteTableStage] = None) -> None:
         self.winners.discard(route.net)
         for target in self._targets.values():
             self._rescind(target, route)
-        super().delete_route(route, caller)
+        super().delete_route(route, caller=caller)
 
-    def replace_route(self, old_route: Any, new_route: Any,
-                      caller: RouteTableStage = None) -> None:
+    def delete_routes(self, routes: List[Any], *,
+                      caller: Optional[RouteTableStage] = None) -> None:
+        targets = self._targets.values()
+        for route in routes:
+            self.winners.discard(route.net)
+            for target in targets:
+                self._rescind(target, route)
+        if self.next_table is not None:
+            self.next_table.delete_routes(routes, caller=self)
+
+    def replace_route(self, old_route: Any, new_route: Any, *,
+                      caller: Optional[RouteTableStage] = None) -> None:
         self.winners.insert(new_route.net, new_route)
         for target in self._targets.values():
             matched_before = target.announced.exact(old_route.net) is not None
@@ -109,7 +132,8 @@ class RedistStage(RouteTableStage):
                 self._rescind(target, old_route)
             elif matches_now:
                 self._offer(target, new_route)
-        super().replace_route(old_route, new_route, caller)
+        super().replace_route(old_route, new_route, caller=caller)
 
-    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+    def lookup_route(self, net: IPNet, *,
+                     caller: Optional[RouteTableStage] = None) -> Any:
         return self.winners.exact(net)

@@ -116,23 +116,42 @@ class RegisterStage(RouteTableStage):
                     self.invalidate_cb(client, entry.subnet)
 
     # -- message handling -----------------------------------------------------
-    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_route(self, route: Any, *,
+                  caller: Optional[RouteTableStage] = None) -> None:
         self.winners.insert(route.net, route)
         self._invalidate_overlapping(route.net)
-        super().add_route(route, caller)
+        super().add_route(route, caller=caller)
 
-    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_routes(self, routes: List[Any], *,
+                   caller: Optional[RouteTableStage] = None) -> None:
+        for route in routes:
+            self.winners.insert(route.net, route)
+            self._invalidate_overlapping(route.net)
+        if self.next_table is not None:
+            self.next_table.add_routes(routes, caller=self)
+
+    def delete_route(self, route: Any, *,
+                     caller: Optional[RouteTableStage] = None) -> None:
         self.winners.discard(route.net)
         self._invalidate_overlapping(route.net)
-        super().delete_route(route, caller)
+        super().delete_route(route, caller=caller)
 
-    def replace_route(self, old_route: Any, new_route: Any,
-                      caller: RouteTableStage = None) -> None:
+    def delete_routes(self, routes: List[Any], *,
+                      caller: Optional[RouteTableStage] = None) -> None:
+        for route in routes:
+            self.winners.discard(route.net)
+            self._invalidate_overlapping(route.net)
+        if self.next_table is not None:
+            self.next_table.delete_routes(routes, caller=self)
+
+    def replace_route(self, old_route: Any, new_route: Any, *,
+                      caller: Optional[RouteTableStage] = None) -> None:
         self.winners.insert(new_route.net, new_route)
         self._invalidate_overlapping(new_route.net)
-        super().replace_route(old_route, new_route, caller)
+        super().replace_route(old_route, new_route, caller=caller)
 
-    def lookup_route(self, net: IPNet, caller: RouteTableStage = None) -> Any:
+    def lookup_route(self, net: IPNet, *,
+                     caller: Optional[RouteTableStage] = None) -> Any:
         return self.winners.exact(net)
 
     def lookup_by_dest(self, addr) -> Optional[Any]:

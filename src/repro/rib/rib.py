@@ -8,7 +8,7 @@ over pipelined XRLs.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.process import Host, XorpProcess
 from repro.core.stages import OriginStage, RouteTableStage
@@ -26,7 +26,7 @@ from repro.rib.merge import MergeStage
 from repro.rib.redist import RedistStage
 from repro.rib.register import RegisterStage
 from repro.rib.route import ADMIN_DISTANCES, RibRoute
-from repro.xrl import XrlArgs, XrlError
+from repro.xrl import XrlArgs, XrlAtom, XrlAtomType, XrlError
 from repro.xrl.error import XrlErrorCode
 from repro.xrl.xrl import Xrl
 
@@ -34,18 +34,42 @@ from repro.xrl.xrl import Xrl
 class _FeaDistributorStage(RouteTableStage):
     """Terminal stage: pushes winning routes towards the forwarding engine."""
 
-    def __init__(self, name: str, emit):
+    def __init__(self, name: str, emit, emit_batch=None):
         super().__init__(name)
-        self._emit = emit  # emit(op, route)
+        self._emit = emit  # emit(op, route, batching=False)
+        #: emit_batch(op, routes) — one vectorized XRL per segment; when
+        #: absent, a batch decomposes into singular emits with the wire
+        #: coalescing hint set.
+        self._emit_batch = emit_batch
 
-    def add_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_route(self, route: Any, *,
+                  caller: Optional[RouteTableStage] = None) -> None:
         self._emit("add", route)
 
-    def delete_route(self, route: Any, caller: RouteTableStage = None) -> None:
+    def add_routes(self, routes: List[Any], *,
+                   caller: Optional[RouteTableStage] = None) -> None:
+        if self._emit_batch is not None:
+            self._emit_batch("add", list(routes))
+            return
+        # The batch hint lets the emitter coalesce the resulting XRLs
+        # into one wire flush (they share the event-loop turn anyway).
+        for route in routes:
+            self._emit("add", route, batching=True)
+
+    def delete_route(self, route: Any, *,
+                     caller: Optional[RouteTableStage] = None) -> None:
         self._emit("delete", route)
 
-    def replace_route(self, old_route: Any, new_route: Any,
-                      caller: RouteTableStage = None) -> None:
+    def delete_routes(self, routes: List[Any], *,
+                      caller: Optional[RouteTableStage] = None) -> None:
+        if self._emit_batch is not None:
+            self._emit_batch("delete", list(routes))
+            return
+        for route in routes:
+            self._emit("delete", route, batching=True)
+
+    def replace_route(self, old_route: Any, new_route: Any, *,
+                      caller: Optional[RouteTableStage] = None) -> None:
         # A FIB insert overwrites, so a replace is a single add entry.
         self._emit("add", new_route)
 
@@ -53,7 +77,8 @@ class _FeaDistributorStage(RouteTableStage):
 class _Pipeline:
     """One address family's stage network inside the RIB."""
 
-    def __init__(self, bits: int, tag: str, emit_fea, invalidate_cb):
+    def __init__(self, bits: int, tag: str, emit_fea, invalidate_cb,
+                 emit_fea_batch=None):
         self.bits = bits
         self.tag = tag
         self.origins: Dict[str, OriginStage] = {}
@@ -65,7 +90,8 @@ class _Pipeline:
         self.redist = RedistStage(f"redist{tag}", bits)
         self.register = RegisterStage(f"register{tag}", bits,
                                       invalidate_cb=invalidate_cb)
-        self.fea_sink = _FeaDistributorStage(f"to-fea{tag}", emit_fea)
+        self.fea_sink = _FeaDistributorStage(f"to-fea{tag}", emit_fea,
+                                             emit_fea_batch)
         RouteTableStage.plumb(self.extint, self.redist, self.register,
                               self.fea_sink)
         self._merge_count = 0
@@ -126,8 +152,10 @@ class RibProcess(XorpProcess):
         self.retry_policy = retry_policy
         self.txq = XrlTransmitQueue(self.xrl, window=window,
                                     retry=retry_policy)
-        self.v4 = _Pipeline(32, "4", self._emit_fea4, self._notify_invalid4)
-        self.v6 = _Pipeline(128, "6", self._emit_fea6, lambda *a: None)
+        self.v4 = _Pipeline(32, "4", self._emit_fea4, self._notify_invalid4,
+                            self._emit_fea4_batch)
+        self.v6 = _Pipeline(128, "6", self._emit_fea6, lambda *a: None,
+                            self._emit_fea6_batch)
         for protocol in self.BUILTIN_IGP_TABLES:
             self.v4.add_origin(protocol, external=False)
             self.v6.add_origin(protocol, external=False)
@@ -143,7 +171,7 @@ class RibProcess(XorpProcess):
                           self._fea_lifetime)
 
     # -- FEA distribution ----------------------------------------------------
-    def _emit_fea4(self, op: str, route: Any) -> None:
+    def _emit_fea4(self, op: str, route: Any, batching: bool = False) -> None:
         self._prof_queued_fea.log(f"{op} {route.net}")
         if op == "add":
             args = (XrlArgs().add_ipv4net("net", route.net)
@@ -154,9 +182,89 @@ class RibProcess(XorpProcess):
             args = XrlArgs().add_ipv4net("net", route.net)
             xrl = Xrl(self.fea_target, "fea_fib", "1.0", "delete_entry4", args)
         data = f"{op} {route.net}"
-        self.txq.enqueue(xrl, on_sent=lambda: self._prof_sent_fea.log(data))
+        self.txq.enqueue(xrl, on_sent=lambda: self._prof_sent_fea.log(data),
+                         batch=batching)
 
-    def _emit_fea6(self, op: str, route: Any) -> None:
+    #: one vectorized XRL carries at most this many routes; larger stage
+    #: batches are segmented so a single frame stays bounded.
+    FEA_BATCH_LIMIT = 256
+
+    def _log_sent_fea(self, lines: List[str]) -> None:
+        for line in lines:
+            self._prof_sent_fea.log(line)
+
+    def _emit_fea4_batch(self, op: str, routes: List[Any]) -> None:
+        """One ``add_entries4``/``delete_entries4`` XRL per route segment.
+
+        Semantically identical to per-route :meth:`_emit_fea4` calls, in
+        order — the FEA unpacks the parallel lists sequentially — but
+        amortizes the XRL header, dispatch and reply over the segment.
+        """
+        if not routes:
+            return
+        if len(routes) == 1:
+            self._emit_fea4(op, routes[0], batching=True)
+            return
+        for start in range(0, len(routes), self.FEA_BATCH_LIMIT):
+            segment = routes[start:start + self.FEA_BATCH_LIMIT]
+            lines = [f"{op} {route.net}" for route in segment]
+            for line in lines:
+                self._prof_queued_fea.log(line)
+            nets = [XrlAtom("net", XrlAtomType.IPV4NET, route.net)
+                    for route in segment]
+            if op == "add":
+                args = (XrlArgs()
+                        .add_list("nets", nets)
+                        .add_list("nexthops",
+                                  [XrlAtom("nexthop", XrlAtomType.IPV4,
+                                           route.nexthop)
+                                   for route in segment])
+                        .add_list("ifnames",
+                                  [XrlAtom("ifname", XrlAtomType.TXT,
+                                           route.ifname)
+                                   for route in segment]))
+                xrl = Xrl(self.fea_target, "fea_fib", "1.0", "add_entries4",
+                          args)
+            else:
+                args = XrlArgs().add_list("nets", nets)
+                xrl = Xrl(self.fea_target, "fea_fib", "1.0",
+                          "delete_entries4", args)
+            self.txq.enqueue(
+                xrl,
+                on_sent=lambda batch_lines=lines:
+                    self._log_sent_fea(batch_lines),
+                batch=True)
+
+    def _emit_fea6_batch(self, op: str, routes: List[Any]) -> None:
+        if not routes:
+            return
+        if len(routes) == 1:
+            self._emit_fea6(op, routes[0], batching=True)
+            return
+        for start in range(0, len(routes), self.FEA_BATCH_LIMIT):
+            segment = routes[start:start + self.FEA_BATCH_LIMIT]
+            nets = [XrlAtom("net", XrlAtomType.IPV6NET, route.net)
+                    for route in segment]
+            if op == "add":
+                args = (XrlArgs()
+                        .add_list("nets", nets)
+                        .add_list("nexthops",
+                                  [XrlAtom("nexthop", XrlAtomType.IPV6,
+                                           route.nexthop)
+                                   for route in segment])
+                        .add_list("ifnames",
+                                  [XrlAtom("ifname", XrlAtomType.TXT,
+                                           route.ifname)
+                                   for route in segment]))
+                xrl = Xrl(self.fea_target, "fea_fib", "1.0", "add_entries6",
+                          args)
+            else:
+                args = XrlArgs().add_list("nets", nets)
+                xrl = Xrl(self.fea_target, "fea_fib", "1.0",
+                          "delete_entries6", args)
+            self.txq.enqueue(xrl, batch=True)
+
+    def _emit_fea6(self, op: str, route: Any, batching: bool = False) -> None:
         if op == "add":
             args = (XrlArgs().add_ipv6net("net", route.net)
                     .add_ipv6("nexthop", route.nexthop)
@@ -165,7 +273,7 @@ class RibProcess(XorpProcess):
         else:
             args = XrlArgs().add_ipv6net("net", route.net)
             xrl = Xrl(self.fea_target, "fea_fib", "1.0", "delete_entry6", args)
-        self.txq.enqueue(xrl)
+        self.txq.enqueue(xrl, batch=batching)
 
     # -- resync after consumer restarts (the DESIGN.md failure model) --------
     def _watcher_name(self) -> str:
@@ -184,13 +292,17 @@ class RibProcess(XorpProcess):
             self.loop.call_soon(self.resync_fea)
 
     def resync_fea(self) -> None:
-        """Replay every winning route at a restarted FEA."""
+        """Replay every winning route at a restarted FEA.
+
+        A full-table replay is the canonical burst: the batch hint lets
+        the XRL layer coalesce the whole resync into a few wire flushes.
+        """
         if not self.running:
             return
-        for __, route in self.v4.redist.winners.items():
-            self._emit_fea4("add", route)
-        for __, route in self.v6.redist.winners.items():
-            self._emit_fea6("add", route)
+        self._emit_fea4_batch(
+            "add", [route for __, route in self.v4.redist.winners.items()])
+        self._emit_fea6_batch(
+            "add", [route for __, route in self.v6.redist.winners.items()])
 
     def _watch_redist_class(self, target: str) -> None:
         if target in self._redist_down:
@@ -266,8 +378,7 @@ class RibProcess(XorpProcess):
         origin = self.v4.origins.get(protocol)
         if origin is None:
             return
-        for net in [net for net, __ in origin.routes.items()]:
-            origin.withdraw_if_present(net)
+        origin.withdraw_batch([net for net, __ in origin.routes.items()])
 
     def xrl_add_route4(self, protocol, net, nexthop, metric, policytags) -> None:
         self._prof_arrive.log(f"add {net}")

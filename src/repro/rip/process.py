@@ -313,7 +313,10 @@ class RipProcess(XorpProcess):
                     .add_u32("metric", entry.metric)
                     .add_list("policytags", []))
             method = "add_route4" if op == "add" else "replace_route4"
-        self.xrl.send(Xrl(self.rib_target, "rib", "1.0", method, args))
+        # Triggered updates and full-table processing arrive in bursts
+        # within one turn; let the wire coalesce them.
+        self.xrl.send(Xrl(self.rib_target, "rib", "1.0", method, args),
+                      batch=True)
 
     # -- update generation --------------------------------------------------
     def _advertised_entries(self, port: RipPort,

@@ -107,7 +107,7 @@ class Cli:
         from repro.xrl import XrlArgs
 
         error, result = self.rtrmgr.xrl.send_sync(
-            Xrl(target, interface, version, method, XrlArgs()), timeout=10)
+            Xrl(target, interface, version, method, XrlArgs()), deadline=10)
         if not error.is_okay:
             raise CommitError(str(error))
         return result

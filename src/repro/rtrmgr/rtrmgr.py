@@ -233,7 +233,7 @@ class RouterManager(XorpProcess):
     def _call(self, target: str, interface: str, version: str, method: str,
               args: XrlArgs) -> XrlArgs:
         error, result = self.xrl.send_sync(
-            Xrl(target, interface, version, method, args), timeout=30)
+            Xrl(target, interface, version, method, args), deadline=30)
         if not error.is_okay:
             raise CommitError(f"{target}/{method}: {error}")
         return result

@@ -2,10 +2,11 @@
 
 The paper ships one debugging aid for the staged routing tables — a
 cache stage spliced into a single pipeline position.  This sanitizer
-generalises it: when armed it rebinds the four stage-API methods on
-*every* ``RouteTableStage`` subclass (present and future, via the hook
-registry in :mod:`repro.core.stages`) and shadows the route stream on
-every inter-stage edge, asserting both §5 consistency rules:
+generalises it: when armed it rebinds the stage-API message methods
+(singular and batch) on *every* ``RouteTableStage`` subclass (present
+and future, via the hook registry in :mod:`repro.core.stages`) and
+shadows the route stream on every inter-stage edge, asserting both §5
+consistency rules:
 
 1. no ``add_route`` for a prefix already live on that edge without an
    intervening ``delete_route``, and every ``delete_route`` /
@@ -35,7 +36,7 @@ from repro.sanitizer.report import ViolationLog
 
 #: the paper's stage message API plus the plumbing ops we must track
 _MESSAGE_METHODS = ("add_route", "delete_route", "replace_route",
-                    "lookup_route")
+                    "lookup_route", "add_routes", "delete_routes")
 _PLUMBING_METHODS = ("insert_downstream", "unplumb")
 
 _armed_sanitizer: Optional["StageSanitizer"] = None
@@ -115,57 +116,92 @@ class StageSanitizer:
 
         if name == "add_route":
             @functools.wraps(original)
-            def wrapper(stage, route, caller=None):
+            def wrapper(stage, route, *, caller=None):
                 marker = id(stage)
                 if marker in sanitizer._in_flight:
-                    return original(stage, route, caller)
+                    return original(stage, route, caller=caller)
                 sanitizer._in_flight.add(marker)
                 try:
                     sanitizer._observe_add(stage, route, caller)
-                    return original(stage, route, caller)
+                    return original(stage, route, caller=caller)
                 finally:
                     sanitizer._in_flight.discard(marker)
 
         elif name == "delete_route":
             @functools.wraps(original)
-            def wrapper(stage, route, caller=None):
+            def wrapper(stage, route, *, caller=None):
                 marker = id(stage)
                 if marker in sanitizer._in_flight:
-                    return original(stage, route, caller)
+                    return original(stage, route, caller=caller)
                 sanitizer._in_flight.add(marker)
                 try:
                     sanitizer._observe_delete(stage, route, caller)
-                    return original(stage, route, caller)
+                    return original(stage, route, caller=caller)
                 finally:
                     sanitizer._in_flight.discard(marker)
 
         elif name == "replace_route":
             @functools.wraps(original)
-            def wrapper(stage, old_route, new_route, caller=None):
+            def wrapper(stage, old_route, new_route, *, caller=None):
                 marker = id(stage)
                 if marker in sanitizer._in_flight:
-                    return original(stage, old_route, new_route, caller)
+                    return original(stage, old_route, new_route,
+                                    caller=caller)
                 sanitizer._in_flight.add(marker)
                 try:
                     sanitizer._observe_replace(stage, old_route, new_route,
                                                caller)
-                    return original(stage, old_route, new_route, caller)
+                    return original(stage, old_route, new_route,
+                                    caller=caller)
                 finally:
                     sanitizer._in_flight.discard(marker)
 
         elif name == "lookup_route":
             @functools.wraps(original)
-            def wrapper(stage, net, caller=None):
+            def wrapper(stage, net, *, caller=None):
                 marker = id(stage)
                 if marker in sanitizer._in_flight:
-                    return original(stage, net, caller)
+                    return original(stage, net, caller=caller)
                 sanitizer._in_flight.add(marker)
                 try:
-                    result = original(stage, net, caller)
+                    result = original(stage, net, caller=caller)
                 finally:
                     sanitizer._in_flight.discard(marker)
                 sanitizer._observe_lookup(stage, net, caller, result)
                 return result
+
+        elif name == "add_routes":
+            @functools.wraps(original)
+            def wrapper(stage, routes, *, caller=None):
+                marker = id(stage)
+                if marker in sanitizer._in_flight:
+                    return original(stage, routes, caller=caller)
+                # A batch is its singular decomposition (the batch
+                # contract): observe each constituent in order, so SAN
+                # verdicts are identical batched or unbatched.
+                routes = list(routes)
+                sanitizer._in_flight.add(marker)
+                try:
+                    for route in routes:
+                        sanitizer._observe_add(stage, route, caller)
+                    return original(stage, routes, caller=caller)
+                finally:
+                    sanitizer._in_flight.discard(marker)
+
+        elif name == "delete_routes":
+            @functools.wraps(original)
+            def wrapper(stage, routes, *, caller=None):
+                marker = id(stage)
+                if marker in sanitizer._in_flight:
+                    return original(stage, routes, caller=caller)
+                routes = list(routes)
+                sanitizer._in_flight.add(marker)
+                try:
+                    for route in routes:
+                        sanitizer._observe_delete(stage, route, caller)
+                    return original(stage, routes, caller=caller)
+                finally:
+                    sanitizer._in_flight.discard(marker)
 
         elif name == "insert_downstream":
             @functools.wraps(original)

@@ -57,10 +57,11 @@ class XrlDispatchSanitizer:
         sanitizer = self
 
         @functools.wraps(original)
-        def send(router, xrl, callback=None, *, deadline=None, retry=None):
+        def send(router, xrl, callback=None, *, deadline=None, retry=None,
+                 batch=False):
             sanitizer._observe(router, xrl)
             return original(router, xrl, callback,
-                            deadline=deadline, retry=retry)
+                            deadline=deadline, retry=retry, batch=batch)
 
         send._repro_sanitizer_original = original  # type: ignore[attr-defined]
         XrlRouter.send = send

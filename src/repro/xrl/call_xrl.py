@@ -26,7 +26,7 @@ def call_xrl(router: XrlRouter, xrl_text: str,
     the return values — the exact format scripts parse.
     """
     xrl = Xrl.from_text(xrl_text)
-    error, args = router.send_sync(xrl, timeout=timeout)
+    error, args = router.send_sync(xrl, deadline=timeout)
     return error, args.to_text()
 
 

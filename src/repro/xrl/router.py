@@ -11,6 +11,7 @@ handler.
 from __future__ import annotations
 
 import itertools
+import warnings
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.eventloop import EventLoop
@@ -167,6 +168,11 @@ class XrlRouter:
         self._seq = itertools.count(1)
         self._alive = True
         self._pending: set = set()
+        #: calls dispatched with ``batch=True``, awaiting the turn's flush
+        self._batch_pending: List[_PendingCall] = []
+        self._batch_scheduled = False
+        #: coalesced wire transmissions performed (one per sender per flush)
+        self.batches_sent = 0
         #: replies that arrived after their call was cancelled or completed
         self.late_replies = 0
         #: attempts re-dispatched under a :class:`RetryPolicy`
@@ -193,7 +199,8 @@ class XrlRouter:
     # -- sending -------------------------------------------------------------
     def send(self, xrl, callback: Optional[ResponseCallback] = None, *,
              deadline: Optional[float] = None,
-             retry: Optional[RetryPolicy] = None) -> None:
+             retry: Optional[RetryPolicy] = None,
+             batch: bool = False) -> None:
         """Dispatch *xrl* asynchronously.
 
         *callback(error, args)* runs from the event loop when the response
@@ -207,7 +214,22 @@ class XrlRouter:
         *retry*, for idempotent methods only, re-dispatches the call with
         jittered backoff on retryable failures (see
         :class:`repro.xrl.retry.RetryPolicy`).
+
+        *batch* is a coalescing hint for bursty streams (route updates):
+        all ``batch=True`` sends issued within one event-loop turn that
+        resolve to the same sender go to the wire as a single coalesced
+        transmission (:meth:`Sender.call_batch`).  Semantics are unchanged
+        — each call still completes individually, in order — only the
+        per-call transmission overhead is amortized.
         """
+        self._dispatch(xrl, callback, deadline=deadline, retry=retry,
+                       batch=batch)
+
+    def _dispatch(self, xrl, callback: Optional[ResponseCallback], *,
+                  deadline: Optional[float], retry: Optional[RetryPolicy],
+                  batch: bool) -> None:
+        """The single internal entry point behind :meth:`send` and
+        :meth:`send_sync`."""
         if callback is None:
             callback = _ignore_response
         if not self._alive:
@@ -222,10 +244,83 @@ class XrlRouter:
             call.deadline_timer = self.loop.call_later(
                 deadline, lambda: self._deadline_expired(call),
                 name="xrl-deadline")
+        if batch:
+            self._batch_pending.append(call)
+            if not self._batch_scheduled:
+                self._batch_scheduled = True
+                self.loop.call_soon(self._flush_batch)
+            return
         self._attempt(call, defer_errors=True)
 
-    def _attempt(self, call: _PendingCall, defer_errors: bool = False) -> None:
-        """Dispatch one attempt of *call* (resolve, connect, transmit)."""
+    def _flush_batch(self) -> None:
+        """End-of-turn flush: group this turn's hinted calls by resolved
+        sender and transmit each group as one coalesced wire operation."""
+        self._batch_scheduled = False
+        calls, self._batch_pending = self._batch_pending, []
+        if not self._alive:
+            return  # shutdown already failed every pending call
+        groups: Dict[int, Tuple[Sender, List[Tuple]]] = {}
+        for call in calls:
+            if call.done:
+                continue
+            self._attempt(call, defer_errors=True, collect=groups)
+        for sender, items in groups.values():
+            if len(items) == 1:
+                call, request, on_reply = items[0]
+                try:
+                    sender.call(request, on_reply)
+                except XrlError:
+                    self._retransmit_singular(call)
+                    continue
+                self._arm_attempt_timer(call)
+            else:
+                self.batches_sent += 1
+                try:
+                    sender.call_batch(
+                        [(request, on_reply) for __, request, on_reply
+                         in items])
+                except XrlError:
+                    # The shared sender broke mid-coalesce: every member
+                    # falls back to the singular path, which carries
+                    # per-endpoint failover.
+                    for call, __, __cb in items:
+                        self._retransmit_singular(call)
+                    continue
+                for call, __, __cb in items:
+                    self._arm_attempt_timer(call)
+
+    def _retransmit_singular(self, call: _PendingCall) -> None:
+        """A coalesced transmit failed before leaving the process: drop the
+        broken sender and re-dispatch the call through the singular path
+        (the transmit never happened, so it does not count as an attempt).
+        """
+        if call.done:
+            return
+        cache_key = (call.xrl.target, call.xrl.method_path)
+        entry = self._cache.pop(cache_key, None)
+        if entry is not None:
+            entry.sender.close()
+        call.attempt -= 1
+        self._attempt(call, defer_errors=True)
+
+    def _arm_attempt_timer(self, call: _PendingCall) -> None:
+        policy = call.retry
+        if policy is not None and policy.attempt_timeout is not None:
+            token = call.attempt_token
+            call.attempt_timer = self.loop.call_later(
+                policy.attempt_timeout,
+                lambda: self._expire_attempt(call, token),
+                name="xrl-attempt-timeout")
+
+    def _attempt(self, call: _PendingCall, defer_errors: bool = False,
+                 collect: Optional[Dict[int, Tuple]] = None) -> None:
+        """Dispatch one attempt of *call* (resolve, connect, transmit).
+
+        With *collect*, the encoded request is grouped by sender into the
+        given dict instead of being transmitted — :meth:`_flush_batch`
+        performs the actual (coalesced) transmission and arms the attempt
+        timer afterwards.
+        """
         call.attempt += 1
         token = object()
         call.attempt_token = token
@@ -270,6 +365,11 @@ class XrlRouter:
                 self._cache[cache_key] = entry
             request = encode_request(next(self._seq), entry.resolved_method,
                                      xrl.args)
+            if collect is not None:
+                group = collect.setdefault(id(entry.sender),
+                                           (entry.sender, []))
+                group[1].append((call, request, on_reply))
+                return  # flusher transmits and arms the attempt timer
             try:
                 entry.sender.call(request, on_reply)
             except XrlError as error:
@@ -283,12 +383,7 @@ class XrlRouter:
                 transport_error = error
                 continue
             break
-        policy = call.retry
-        if policy is not None and policy.attempt_timeout is not None:
-            call.attempt_timer = self.loop.call_later(
-                policy.attempt_timeout,
-                lambda: self._expire_attempt(call, token),
-                name="xrl-attempt-timeout")
+        self._arm_attempt_timer(call)
 
     def _expire_attempt(self, call: _PendingCall, token: object) -> None:
         if call.done or call.attempt_token is not token:
@@ -365,20 +460,37 @@ class XrlRouter:
         sender = self._families[family_name].connect(address, self)
         return _CacheEntry(resolved_method, sender, family_name, address)
 
-    def send_sync(self, xrl, timeout: float = 30.0, *,
-                  retry: Optional[RetryPolicy] = None
-                  ) -> Tuple[XrlError, XrlArgs]:
+    def send_sync(self, xrl, timeout: Optional[float] = None, *,
+                  deadline: Optional[float] = None,
+                  retry: Optional[RetryPolicy] = None,
+                  batch: bool = False) -> Tuple[XrlError, XrlArgs]:
         """Convenience: dispatch and run the loop until the reply arrives.
 
         For scripts and tests; event-driven code uses :meth:`send`.  The
-        timeout is a true cancellation deadline: on expiry the pending
-        callback is retired, so a late reply is counted in
-        :attr:`late_replies` and dropped instead of landing in a dead box.
+        keyword surface matches :meth:`send` (*deadline*, *retry*,
+        *batch*); *timeout* is the deprecated old name for *deadline* and
+        is kept as a shim.  The deadline is a true cancellation deadline:
+        on expiry the pending callback is retired, so a late reply is
+        counted in :attr:`late_replies` and dropped instead of landing in
+        a dead box.
         """
+        if timeout is not None:
+            if deadline is not None:
+                raise TypeError(
+                    "send_sync() takes deadline= or the deprecated "
+                    "timeout=, not both")
+            warnings.warn(
+                "send_sync(timeout=...) is deprecated; use deadline=",
+                DeprecationWarning, stacklevel=2)
+            deadline = timeout
+        if deadline is None:
+            deadline = 30.0
         box: List[Tuple[XrlError, XrlArgs]] = []
+        # Through self.send (not _dispatch) so instrumentation wrapping
+        # send — the dispatch sanitizer — observes synchronous calls too.
         self.send(xrl, lambda error, args: box.append((error, args)),
-                  deadline=timeout, retry=retry)
-        self.loop.run_until(lambda: bool(box), timeout=timeout + 1.0)
+                  deadline=deadline, retry=retry, batch=batch)
+        self.loop.run_until(lambda: bool(box), timeout=deadline + 1.0)
         if not box:
             return XrlError(XrlErrorCode.REPLY_TIMED_OUT, str(xrl)), XrlArgs()
         return box[0]
@@ -497,6 +609,7 @@ class XrlRouter:
             self._complete(call, XrlError(XrlErrorCode.SEND_FAILED,
                                           "router shut down"),
                            XrlArgs(), defer=True)
+        self._batch_pending.clear()
         for entry in self._cache.values():
             entry.sender.close()
         self._cache.clear()

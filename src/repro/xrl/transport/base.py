@@ -80,6 +80,19 @@ class Sender:
     def call(self, request: bytes, reply_cb: ReplyCallback) -> None:
         raise NotImplementedError
 
+    def call_batch(self, requests: "list") -> None:
+        """Transmit several ``(request, reply_cb)`` pairs coalesced.
+
+        Families with per-call transmission overhead (a syscall, an
+        event-loop hop) override this to pay that overhead once per batch;
+        responses still arrive individually, demuxed by sequence number.
+        The default decomposes the batch into singular :meth:`call`\\ s, so
+        the batch is always semantically identical to its decomposition —
+        the same contract the staged tables follow.
+        """
+        for request, reply_cb in requests:
+            self.call(request, reply_cb)
+
     def close(self) -> None:
         """Release transport resources (idempotent)."""
 

@@ -36,6 +36,41 @@ class _HostLocalSender(Sender):
 
         loop.call_soon(deliver)
 
+    def call_batch(self, requests) -> None:
+        """Batch form: one delivery hop and one reply-flush hop per batch
+        (see the intra-process family for the pattern)."""
+        target_router = self._family._listeners.get(self._address)
+        if target_router is None:
+            raise XrlError(
+                XrlErrorCode.SEND_FAILED, f"local target {self._address} is gone"
+            )
+        loop = self._caller.loop
+        pairs = list(requests)
+
+        def deliver() -> None:
+            ready = []
+            collecting = True
+
+            def respond_for(reply_cb):
+                def respond(response: bytes) -> None:
+                    if collecting:
+                        ready.append((reply_cb, response))
+                    else:
+                        loop.call_soon(reply_cb, response)
+                return respond
+
+            for request, reply_cb in pairs:
+                target_router.dispatch_frame_async(request,
+                                                   respond_for(reply_cb))
+            collecting = False
+            if ready:
+                def flush() -> None:
+                    for reply_cb, response in ready:
+                        reply_cb(response)
+                loop.call_soon(flush)
+
+        loop.call_soon(deliver)
+
 
 class HostLocalFamily(ProtocolFamily):
     """One instance per host; shared by all of that host's processes."""

@@ -179,6 +179,21 @@ class _TcpSender(Sender):
         self._out.extend(_frame(request))
         self._flush()
 
+    def call_batch(self, requests) -> None:
+        """Pipelining's batch form: N frames, one buffered write.
+
+        Concatenating frames is wire-compatible — the receiver's
+        :class:`_FrameBuffer` splits on length prefixes and replies carry
+        sequence numbers, so responses demux exactly as for singular calls.
+        """
+        if self._sock is None:
+            raise XrlError(XrlErrorCode.SEND_FAILED, "tcp sender is closed")
+        for request, reply_cb in requests:
+            (seq,) = struct.unpack_from("!I", request, 0)
+            self._pending[seq] = reply_cb
+            self._out.extend(_frame(request))
+        self._flush()
+
     def _flush(self) -> None:
         if self._sock is None:
             return

@@ -23,7 +23,7 @@ class TestFinderTarget:
         host, client, rib_router = self._setup()
         args = XrlArgs().add_txt("xrl", "finder://rib/rib/1.0/ping")
         error, result = client.send_sync(
-            Xrl("finder", "finder", "1.0", "resolve_xrl", args), timeout=10)
+            Xrl("finder", "finder", "1.0", "resolve_xrl", args), deadline=10)
         assert error.is_okay, error
         resolved = result.get_txt("resolved")
         # Contains a concrete family, an address, and the 32-hex-char key.
@@ -39,13 +39,13 @@ class TestFinderTarget:
         host, client, __ = self._setup()
         args = XrlArgs().add_txt("xrl", "finder://ghost/x/1.0/y")
         error, __ = client.send_sync(
-            Xrl("finder", "finder", "1.0", "resolve_xrl", args), timeout=10)
+            Xrl("finder", "finder", "1.0", "resolve_xrl", args), deadline=10)
         assert error.code == XrlErrorCode.RESOLVE_FAILED
 
     def test_target_list(self):
         host, client, __ = self._setup()
         error, result = client.send_sync(
-            Xrl("finder", "finder", "1.0", "get_target_list"), timeout=10)
+            Xrl("finder", "finder", "1.0", "get_target_list"), deadline=10)
         assert error.is_okay
         targets = result.get_txt("targets").split(",")
         assert "rib" in targets and "finder" in targets
@@ -55,7 +55,7 @@ class TestFinderTarget:
         args = XrlArgs().add_txt("class_name", "rib")
         error, result = client.send_sync(
             Xrl("finder", "finder", "1.0", "get_class_instances", args),
-            timeout=10)
+            deadline=10)
         assert error.is_okay
         assert rib_router.instance_name in result.get_txt("instances")
 
@@ -65,7 +65,7 @@ class TestFinderTarget:
             args = XrlArgs().add_txt("target", target)
             error, result = client.send_sync(
                 Xrl("finder", "finder", "1.0", "target_exists", args),
-                timeout=10)
+                deadline=10)
             assert error.is_okay
             assert result.get_bool("exists") is expected
 

@@ -57,7 +57,7 @@ def multicast_router():
 
 
 def xrl_sync(process, xrl_text):
-    return process.xrl.send_sync(Xrl.from_text(xrl_text), timeout=10)
+    return process.xrl.send_sync(Xrl.from_text(xrl_text), deadline=10)
 
 
 class TestIgmpProcess:
@@ -103,7 +103,7 @@ class TestPim:
         args = (XrlArgs().add_ipv4net("group_prefix", prefix)
                 .add_ipv4("rp", rp))
         error, __ = pim.xrl.send_sync(
-            Xrl("pim", "pim", "0.1", "set_rp", args), timeout=10)
+            Xrl("pim", "pim", "0.1", "set_rp", args), deadline=10)
         assert error.is_okay, error
 
     def test_join_installs_mfc(self, multicast_router):
@@ -155,7 +155,7 @@ class TestPim:
                 .add_ipv4("nexthop", "10.0.0.2")
                 .add_u32("metric", 1).add_list("policytags", []))
         pim.xrl.send_sync(Xrl("rib", "rib", "1.0", "add_route4", args),
-                          timeout=10)
+                          deadline=10)
         igmp.xrl_add_membership4("eth1", IPv4("239.1.1.1"))
         key = (IPv4("77.0.0.1").to_int(), IPv4("239.1.1.1").to_int())
         assert network.run_until(lambda: key in router.fea.mfib, timeout=20)
@@ -167,7 +167,7 @@ class TestPim:
                 .add_ipv4("nexthop", "10.1.0.2")
                 .add_u32("metric", 1).add_list("policytags", []))
         pim.xrl.send_sync(Xrl("rib", "rib", "1.0", "add_route4", args),
-                          timeout=10)
+                          deadline=10)
         assert network.run_until(
             lambda: key in router.fea.mfib
             and router.fea.mfib[key].iif == "eth1", timeout=20)

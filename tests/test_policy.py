@@ -290,7 +290,7 @@ class TestBgpPolicyXrl:
         args = (XrlArgs().add_u32("filter_id", 1)
                 .add_txt("policy_source", source))
         error, __ = bgp.xrl.send_sync(
-            Xrl("bgp", "policy", "0.1", "configure_filter", args), timeout=5)
+            Xrl("bgp", "policy", "0.1", "configure_filter", args), deadline=5)
         assert error.is_okay, error
         assert bgp.import_policy is not None
         # The hook rejects matching routes.

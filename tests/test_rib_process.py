@@ -28,7 +28,7 @@ def setup():
 
 
 def send(host, client, xrl_text):
-    error, args = client.send_sync(Xrl.from_text(xrl_text), timeout=10)
+    error, args = client.send_sync(Xrl.from_text(xrl_text), deadline=10)
     return error, args
 
 
@@ -37,7 +37,7 @@ def add_route(host, client, protocol, net_text, nexthop, metric=1):
             .add_ipv4net("net", net_text).add_ipv4("nexthop", nexthop)
             .add_u32("metric", metric).add_list("policytags", []))
     error, __ = client.send_sync(Xrl("rib", "rib", "1.0", "add_route4", args),
-                                 timeout=10)
+                                 deadline=10)
     return error
 
 
@@ -66,7 +66,7 @@ class TestRouteFlow:
         assert fea.fib4.lookup(IPv4("10.0.0.1")).nexthop == IPv4("2.2.2.2")
         # Withdraw the static route: RIP takes over.
         args = XrlArgs().add_txt("protocol", "static").add_ipv4net("net", "10.0.0.0/8")
-        client.send_sync(Xrl("rib", "rib", "1.0", "delete_route4", args), timeout=10)
+        client.send_sync(Xrl("rib", "rib", "1.0", "delete_route4", args), deadline=10)
         settle(host)
         assert fea.fib4.lookup(IPv4("10.0.0.1")).nexthop == IPv4("1.1.1.1")
 
@@ -74,7 +74,7 @@ class TestRouteFlow:
         host, fea, rib, client = setup
         args = XrlArgs().add_txt("protocol", "static").add_ipv4net("net", "10.0.0.0/8")
         error, __ = client.send_sync(
-            Xrl("rib", "rib", "1.0", "delete_route4", args), timeout=10)
+            Xrl("rib", "rib", "1.0", "delete_route4", args), deadline=10)
         assert error.code == XrlErrorCode.COMMAND_FAILED
 
     def test_route_to_unknown_table_fails(self, setup):
@@ -121,7 +121,7 @@ class TestInterestRegistration:
     def register(self, client, target, addr):
         args = XrlArgs().add_txt("target", target).add_ipv4("addr", addr)
         return client.send_sync(
-            Xrl("rib", "rib", "1.0", "register_interest4", args), timeout=10)
+            Xrl("rib", "rib", "1.0", "register_interest4", args), deadline=10)
 
     def test_register_and_answer(self, setup):
         host, fea, rib, client = setup
@@ -160,7 +160,7 @@ class TestInterestRegistration:
         dereg = (XrlArgs().add_txt("target", "testclient")
                  .add_ipv4net("subnet", args.get_ipv4net("subnet")))
         error, __ = client.send_sync(
-            Xrl("rib", "rib", "1.0", "deregister_interest4", dereg), timeout=10)
+            Xrl("rib", "rib", "1.0", "deregister_interest4", dereg), deadline=10)
         assert error.is_okay
 
 
@@ -187,7 +187,7 @@ class TestRedistribution:
         args = (XrlArgs().add_txt("target", client.class_name)
                 .add_txt("from_protocol", "static"))
         error, __ = client.send_sync(
-            Xrl("rib", "rib", "1.0", "redist_enable4", args), timeout=10)
+            Xrl("rib", "rib", "1.0", "redist_enable4", args), deadline=10)
         assert error.is_okay
         assert host.loop.run_until(lambda: bool(feed), timeout=5)
         assert feed == [("add", net("10.0.0.0/8"), "static")]

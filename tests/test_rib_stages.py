@@ -159,7 +159,7 @@ class TestMergeStage:
         a, b, merge, sink = merged_pair()
         stranger = OriginStage("x")
         with pytest.raises(AssertionError):
-            merge.add_route(route("10.0.0.0/8", "rip"), stranger)
+            merge.add_route(route("10.0.0.0/8", "rip"), caller=stranger)
 
 
 class TestExtIntStage:

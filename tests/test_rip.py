@@ -93,7 +93,7 @@ def build_rip_pair(update_interval=5.0, triggered_delay=0.5):
 def enable_rip(rip, ifname, addr):
     args = XrlArgs().add_txt("ifname", ifname).add_ipv4("addr", addr)
     error, __ = rip.xrl.send_sync(
-        Xrl("rip", "rip", "1.0", "add_rip_address", args), timeout=10)
+        Xrl("rip", "rip", "1.0", "add_rip_address", args), deadline=10)
     assert error.is_okay, error
 
 
@@ -209,7 +209,7 @@ class TestRipProtocol:
         network.run(duration=12)
         error, args = rip_a.xrl.send_sync(
             Xrl("rip", "rip", "1.0", "get_counters",
-                XrlArgs().add_txt("ifname", "eth0")), timeout=10)
+                XrlArgs().add_txt("ifname", "eth0")), deadline=10)
         assert error.is_okay
         assert args.get_u32("packets_out") > 0
         assert args.get_u32("packets_in") > 0
@@ -221,7 +221,7 @@ class TestRipProtocol:
         args = (XrlArgs().add_txt("target", "rip")
                 .add_txt("from_protocol", "static"))
         error, __ = rip_a.xrl.send_sync(
-            Xrl("rib", "rib", "1.0", "redist_enable4", args), timeout=10)
+            Xrl("rib", "rib", "1.0", "redist_enable4", args), deadline=10)
         assert error.is_okay
         # Add a static route to A's RIB (as the static_routes process would).
         route_args = (XrlArgs().add_txt("protocol", "static")
@@ -229,7 +229,7 @@ class TestRipProtocol:
                       .add_ipv4("nexthop", "10.0.0.1")
                       .add_u32("metric", 1).add_list("policytags", []))
         error, __ = rip_a.xrl.send_sync(
-            Xrl("rib", "rib", "1.0", "add_route4", route_args), timeout=10)
+            Xrl("rib", "rib", "1.0", "add_route4", route_args), deadline=10)
         assert error.is_okay
         assert network.run_until(
             lambda: rip_b.routes.exact(net("42.0.0.0/8")) is not None,
@@ -247,7 +247,7 @@ class TestStaticRoutesProcess:
                 .add_ipv4("nexthop", "1.1.1.1").add_u32("metric", 1))
         error, __ = static.xrl.send_sync(
             Xrl("static_routes", "static_routes", "0.1", "add_route4", args),
-            timeout=10)
+            deadline=10)
         assert error.is_okay
         assert network.run_until(
             lambda: a.fea.fib4.lookup(IPv4("10.1.1.1")) is not None,
@@ -256,7 +256,7 @@ class TestStaticRoutesProcess:
         del_args = XrlArgs().add_ipv4net("net", "10.0.0.0/8")
         error, __ = static.xrl.send_sync(
             Xrl("static_routes", "static_routes", "0.1", "delete_route4",
-                del_args), timeout=10)
+                del_args), deadline=10)
         assert error.is_okay
         assert network.run_until(
             lambda: a.fea.fib4.lookup(IPv4("10.1.1.1")) is None, timeout=10)

@@ -95,13 +95,13 @@ class TestXrlTransportRobustness:
         server.register_raw_method("svc/1.0/ping", lambda args: None)
         client = XrlRouter(loop, "cli", finder, families=[family])
         error, __ = client.send_sync(Xrl("svc", "svc", "1.0", "ping"),
-                                     timeout=10)
+                                     deadline=10)
         assert error.is_okay
         server.shutdown()
         # The cached sender's socket dies; the client must surface an
         # error (resolve failure after deregistration) rather than hang.
         error, __ = client.send_sync(Xrl("svc", "svc", "1.0", "ping"),
-                                     timeout=10)
+                                     deadline=10)
         assert not error.is_okay
 
     def test_tcp_large_payload_fragmentation(self):
@@ -122,7 +122,7 @@ class TestXrlTransportRobustness:
         blob = bytes(range(256)) * 2000  # 512 KB, many TCP segments
         args = XrlArgs().add_binary("blob", blob)
         error, __ = client.send_sync(Xrl("svc", "svc", "1.0", "put", args),
-                                     timeout=30)
+                                     deadline=30)
         assert error.is_okay
         assert received == [len(blob)]
 
@@ -134,14 +134,14 @@ class TestXrlTransportRobustness:
         client_process = XorpProcess(host, "cp")
         client = client_process.create_router("cli")
         error, __ = client.send_sync(Xrl("late", "svc", "1.0", "ping"),
-                                     timeout=5)
+                                     deadline=5)
         assert error.code == XrlErrorCode.RESOLVE_FAILED
         # The target appears later: the same XRL now succeeds.
         server_process = XorpProcess(host, "sp")
         server = server_process.create_router("late")
         server.register_raw_method("svc/1.0/ping", lambda args: None)
         error, __ = client.send_sync(Xrl("late", "svc", "1.0", "ping"),
-                                     timeout=5)
+                                     deadline=5)
         assert error.is_okay
 
 
@@ -162,7 +162,7 @@ class TestIpv6Paths:
                 .add_ipv6("nexthop", "fe80::1")
                 .add_u32("metric", 1).add_list("policytags", []))
         error, __ = client.send_sync(
-            Xrl("rib", "rib", "1.0", "add_route6", args), timeout=10)
+            Xrl("rib", "rib", "1.0", "add_route6", args), deadline=10)
         assert error.is_okay, error
         assert host.loop.run_until(
             lambda: fea.fib6.lookup(IPv6("2001:db8::42")) is not None,
@@ -171,7 +171,7 @@ class TestIpv6Paths:
         del_args = (XrlArgs().add_txt("protocol", "static")
                     .add_ipv6net("net", "2001:db8::/32"))
         error, __ = client.send_sync(
-            Xrl("rib", "rib", "1.0", "delete_route6", del_args), timeout=10)
+            Xrl("rib", "rib", "1.0", "delete_route6", del_args), deadline=10)
         assert error.is_okay
         assert host.loop.run_until(
             lambda: fea.fib6.lookup(IPv6("2001:db8::42")) is None, timeout=10)

@@ -81,22 +81,22 @@ class TestStageSanitizer:
         with StageSanitizer() as san:
             origin, flt, sink = pipeline()
             r = route("10.0.0.0/8")
-            flt.add_route(r, origin)
-            flt.add_route(r, origin)
+            flt.add_route(r, caller=origin)
+            flt.add_route(r, caller=origin)
         assert rules_of(san.violations) == ["SAN001"]
         assert "already live" in san.violations[0].message
 
     def test_delete_without_add_reports_san002(self):
         with StageSanitizer() as san:
             origin, flt, sink = pipeline()
-            flt.delete_route(route("10.0.0.0/8"), origin)
+            flt.delete_route(route("10.0.0.0/8"), caller=origin)
         assert rules_of(san.violations) == ["SAN002"]
 
     def test_replace_of_never_added_reports_san003(self):
         with StageSanitizer() as san:
             origin, flt, sink = pipeline()
             flt.replace_route(route("10.0.0.0/8"),
-                              route("10.0.0.0/8", metric=9), origin)
+                              route("10.0.0.0/8", metric=9), caller=origin)
         assert rules_of(san.violations) == ["SAN003"]
 
     def test_edges_are_tracked_per_caller(self):
@@ -105,8 +105,8 @@ class TestStageSanitizer:
             a, b = OriginStage("a"), OriginStage("b")
             sink = SinkStage()
             r = route("10.0.0.0/8")
-            sink.add_route(r, a)
-            sink.add_route(r, b)  # different edge: not a violation
+            sink.add_route(r, caller=a)
+            sink.add_route(r, caller=b)  # different edge: not a violation
         assert san.violations == []
 
     def test_lookup_denying_live_route_reports_san004(self):
@@ -119,15 +119,15 @@ class TestStageSanitizer:
             sink = SinkStage()
             upstream.set_next(sink)
             r = route("10.0.0.0/8")
-            sink.add_route(r, upstream)
-            assert upstream.lookup_route(net("10.0.0.0/8"), sink) is None
+            sink.add_route(r, caller=upstream)
+            assert upstream.lookup_route(net("10.0.0.0/8"), caller=sink) is None
         assert rules_of(san.violations) == ["SAN004"]
 
     def test_consistent_lookup_is_clean(self):
         with StageSanitizer() as san:
             origin, flt, sink = pipeline()
             origin.originate(route("10.0.0.0/8"))
-            found = flt.lookup_route(net("10.0.0.0/8"), sink)
+            found = flt.lookup_route(net("10.0.0.0/8"), caller=sink)
             assert found is not None
         assert san.violations == []
 
@@ -164,7 +164,7 @@ class TestStageSanitizer:
             origin.originate(route("10.0.0.0/8"))
             stream_reset(flt, sink)
             # After the declared reset a fresh add is not a double add.
-            flt.add_route(route("10.0.0.0/8"), origin)
+            flt.add_route(route("10.0.0.0/8"), caller=origin)
         assert san.violations == []
 
     def test_disarm_restores_pristine_methods(self):
@@ -188,8 +188,8 @@ class TestStageSanitizer:
 
             late = LateStage("late")
             r = route("10.0.0.0/8")
-            late.add_route(r, None)
-            late.add_route(r, None)
+            late.add_route(r, caller=None)
+            late.add_route(r, caller=None)
         assert rules_of(san.violations) == ["SAN001"]
 
 
@@ -201,7 +201,7 @@ class TestSeededStageMutation:
             self.routes.insert(r.net, r)
             if self.next_table is not None:
                 # Bug under test: ignores the previous route and re-adds.
-                self.next_table.add_route(r, self)
+                self.next_table.add_route(r, caller=self)
 
         monkeypatch.setattr(OriginStage, "originate", buggy_originate)
         with StageSanitizer() as san:
@@ -395,7 +395,7 @@ class TestRuntimeSanitizerComposite:
                            families=[IntraProcessFamily()])
         with RuntimeSanitizer() as san:
             origin, flt, sink = pipeline()
-            flt.delete_route(route("10.0.0.0/8"), origin)
+            flt.delete_route(route("10.0.0.0/8"), caller=origin)
             client.send(Xrl("rib", "rib", "1.0", "add_rote4", XrlArgs()))
             loop.run()
         assert rules_of(san.violations) == ["SAN002", "SAN102"]

@@ -55,7 +55,7 @@ class TestFaultFamily:
         __, client = _client(host)
         outcomes = []
         for __unused in range(40):
-            error, __ = client.send_sync(_ping_xrl(), timeout=1.0)
+            error, __ = client.send_sync(_ping_xrl(), deadline=1.0)
             outcomes.append(error.is_okay)
         return outcomes, fault.stats
 
@@ -79,11 +79,11 @@ class TestFaultFamily:
         _service(host)
         __, client = _client(host)
         fault.partition("cli", "svc")
-        error, __ = client.send_sync(_ping_xrl(), timeout=1.0)
+        error, __ = client.send_sync(_ping_xrl(), deadline=1.0)
         assert error.code == XrlErrorCode.REPLY_TIMED_OUT
         assert fault.stats.partitioned > 0
         fault.heal_all()
-        error, __ = client.send_sync(_ping_xrl(), timeout=1.0)
+        error, __ = client.send_sync(_ping_xrl(), deadline=1.0)
         assert error.is_okay
 
     def test_scope_limits_faults_to_named_pairs(self):
@@ -97,11 +97,11 @@ class TestFaultFamily:
         other.register_raw_method("svc/1.0/ping", lambda args: None)
         __, client = _client(host)
         # In-scope traffic is annihilated...
-        error, __ = client.send_sync(_ping_xrl(), timeout=1.0)
+        error, __ = client.send_sync(_ping_xrl(), deadline=1.0)
         assert not error.is_okay
         # ...but an out-of-scope pair sails through untouched.
         error, __ = client.send_sync(
-            Xrl("other", "svc", "1.0", "ping", XrlArgs()), timeout=1.0)
+            Xrl("other", "svc", "1.0", "ping", XrlArgs()), deadline=1.0)
         assert error.is_okay
         assert fault.stats.dropped == 1
 
@@ -118,7 +118,7 @@ class TestFaultFamily:
 
         router.register_raw_method("svc/1.0/ping", ping)
         __, client = _client(host)
-        error, __ = client.send_sync(_ping_xrl(), timeout=1.0)
+        error, __ = client.send_sync(_ping_xrl(), deadline=1.0)
         assert error.is_okay
         host.loop.run(duration=0.1)
         assert calls["n"] == 2
@@ -131,11 +131,11 @@ class TestFaultFamily:
         fault = FaultFamily.wrap_host(host, seed=1, corrupt_probability=1.0)
         _service(host)
         __, client = _client(host)
-        error, __ = client.send_sync(_ping_xrl(), timeout=1.0)
+        error, __ = client.send_sync(_ping_xrl(), deadline=1.0)
         assert not error.is_okay
         assert fault.stats.corrupted > 0
         fault.corrupt_probability = 0.0
-        error, __ = client.send_sync(_ping_xrl(), timeout=1.0)
+        error, __ = client.send_sync(_ping_xrl(), deadline=1.0)
         assert error.is_okay
 
     def test_delay_defers_delivery(self):
@@ -144,7 +144,7 @@ class TestFaultFamily:
         _service(host)
         __, client = _client(host)
         start = host.loop.now()
-        error, __ = client.send_sync(_ping_xrl(), timeout=5.0)
+        error, __ = client.send_sync(_ping_xrl(), deadline=5.0)
         assert error.is_okay
         # Request and reply each crossed the family once: >= 2 delays.
         assert host.loop.now() - start >= 1.0
@@ -164,7 +164,7 @@ class TestXrlReliability:
         __, client = _client(host)
         policy = RetryPolicy(max_attempts=20, backoff=0.05,
                              attempt_timeout=0.2, seed=2)
-        error, __ = client.send_sync(_ping_xrl(), timeout=60.0, retry=policy)
+        error, __ = client.send_sync(_ping_xrl(), deadline=60.0, retry=policy)
         assert error.is_okay
         assert client.retries_performed > 0
 
@@ -173,7 +173,7 @@ class TestXrlReliability:
         FaultFamily.wrap_host(host, drop_probability=1.0)
         _service(host)
         __, client = _client(host)
-        error, __ = client.send_sync(_ping_xrl(), timeout=1.0)
+        error, __ = client.send_sync(_ping_xrl(), deadline=1.0)
         assert error.code == XrlErrorCode.REPLY_TIMED_OUT
         assert client.retries_performed == 0
 
@@ -191,7 +191,7 @@ class TestXrlReliability:
         router.register_raw_method("svc/1.0/slow", slow)
         __, client = _client(host)
         error, __ = client.send_sync(
-            Xrl("svc", "svc", "1.0", "slow", XrlArgs()), timeout=2.0)
+            Xrl("svc", "svc", "1.0", "slow", XrlArgs()), deadline=2.0)
         assert error.code == XrlErrorCode.REPLY_TIMED_OUT
         assert client.late_replies == 0
         # The handler answers long after the deadline: the reply must be
@@ -233,7 +233,7 @@ class TestFinderDeathOrdering:
         host = Host()
         server_process, __ = _service(host)
         __, client = _client(host)
-        error, __ = client.send_sync(_ping_xrl(), timeout=1.0)
+        error, __ = client.send_sync(_ping_xrl(), deadline=1.0)
         assert error.is_okay
         assert any(key[0] == "svc" for key in client._cache)
 

@@ -155,6 +155,6 @@ class TestProcessModel:
         rip = RipProcess(router.host)
         for target in ("fea", "rib", "rip"):
             error, args = rip.xrl.send_sync(
-                Xrl(target, "common", "0.1", "get_status"), timeout=10)
+                Xrl(target, "common", "0.1", "get_status"), deadline=10)
             assert error.is_okay, (target, error)
             assert args.get_txt("status") == "running"

@@ -111,7 +111,7 @@ class TestXrlProxy:
     def _call(self, client, target, a, b):
         args = XrlArgs().add_u32("a", a).add_u32("b", b)
         return client.send_sync(Xrl(target, "svc", "1.0", "add", args),
-                                timeout=10)
+                                deadline=10)
 
     def test_unconstrained_forwarding(self, setup):
         host, proxy, client = setup
@@ -134,7 +134,7 @@ class TestXrlProxy:
     def test_backend_errors_propagate(self, setup):
         host, proxy, client = setup
         error, __ = client.send_sync(
-            Xrl("svc-proxy", "svc", "1.0", "fail"), timeout=10)
+            Xrl("svc-proxy", "svc", "1.0", "fail"), deadline=10)
         assert error.code == XrlErrorCode.COMMAND_FAILED
         assert "exploded" in error.note
 

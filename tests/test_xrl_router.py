@@ -64,27 +64,27 @@ class TestEndToEnd:
     def test_echo(self, name, factory, clock, shared):
         loop, __, __, client, __ = build_pair(factory, clock, shared)
         xrl = Xrl("echo", "test", "1.0", "echo", XrlArgs().add_u32("value", 42))
-        error, args = client.send_sync(xrl, timeout=10)
+        error, args = client.send_sync(xrl, deadline=10)
         assert error.is_okay, error
         assert args.get_u32("value") == 42
 
     def test_txt_round_trip(self, name, factory, clock, shared):
         loop, __, __, client, __ = build_pair(factory, clock, shared)
         xrl = Xrl("echo", "test", "1.0", "greet", XrlArgs().add_txt("name", "xorp"))
-        error, args = client.send_sync(xrl, timeout=10)
+        error, args = client.send_sync(xrl, deadline=10)
         assert error.is_okay
         assert args.get_txt("greeting") == "hello xorp"
 
     def test_handler_exception_becomes_command_failed(self, name, factory, clock, shared):
         loop, __, __, client, __ = build_pair(factory, clock, shared)
-        error, __ = client.send_sync(Xrl("echo", "test", "1.0", "fail"), timeout=10)
+        error, __ = client.send_sync(Xrl("echo", "test", "1.0", "fail"), deadline=10)
         assert error.code == XrlErrorCode.COMMAND_FAILED
         assert "deliberate" in error.note
 
     def test_bad_args_rejected_remotely(self, name, factory, clock, shared):
         loop, __, __, client, __ = build_pair(factory, clock, shared)
         xrl = Xrl("echo", "test", "1.0", "echo", XrlArgs().add_txt("value", "x"))
-        error, __ = client.send_sync(xrl, timeout=10)
+        error, __ = client.send_sync(xrl, deadline=10)
         assert error.code == XrlErrorCode.BAD_ARGS
 
     def test_pipelined_burst(self, name, factory, clock, shared):
