@@ -80,6 +80,15 @@ RULES: Dict[str, Rule] = {
                        "signature (runtime)", "§6.1"),
         Rule("RACE001", "final state diverges across legal schedules of "
                         "same-deadline events (ordering bug)", "§4"),
+        # Observability rules: emitted by ``python -m repro.obs`` when the
+        # traced scenario's reconstructed evidence contradicts the
+        # architecture (runtime, like the SAN rules).
+        Rule("OBS001", "traced route never reached the FEA FIB "
+                       "(runtime observability)", "§8"),
+        Rule("OBS002", "expected metric missing or zero during a traced "
+                       "scrape (runtime observability)", "§8"),
+        Rule("OBS003", "span timestamps decrease along a causal path "
+                       "(runtime observability)", "§8"),
         Rule("SUP001", "suppression names an unknown rule id", "tooling"),
         Rule("GEN001", "file does not parse as Python", "tooling"),
     ]

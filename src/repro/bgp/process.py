@@ -81,6 +81,11 @@ class BgpProcess(XorpProcess):
         RouteTableStage.plumb(self.local_origin, self._local_resolver_stage)
         self.decision.add_branch(self._local_resolver_stage)
 
+        self.txq.register_metrics(self.metrics)
+        self.metrics.gauge("decision.routes", lambda: self.decision.route_count)
+        self.metrics.gauge("fanout.depth", lambda: self.fanout.queue_length)
+        self.metrics.gauge("peers", lambda: len(self.peers))
+
         self.xrl.bind(BGP_IDL, self)
         self.xrl.bind(POLICY_IDL, self)
         self.xrl.bind(RIB_CLIENT_IDL, self)

@@ -21,6 +21,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.eventloop import EventLoop, SimulatedClock
+from repro.interfaces import METRICS_IDL
+from repro.obs.metrics import MetricsRegistry
 from repro.xrl import Finder, XrlRouter
 from repro.xrl.idl import XrlInterface
 from repro.xrl.router import new_process_token
@@ -73,6 +75,10 @@ class XorpProcess:
         self.name = name if name is not None else self.process_name
         self.process_token = new_process_token()
         self.routers: List[XrlRouter] = []
+        #: this process's scrapeable instruments (namespace = process name);
+        #: every component created below serves it over ``metrics/1.0``.
+        self.metrics = MetricsRegistry(self.name)
+        self.loop.register_metrics(self.metrics)
         self._kill_address = host.kill_family.listen(self)
         self._running = True
         host.add_process(self)
@@ -91,7 +97,17 @@ class XorpProcess:
             families=list(self.host.families),
             process_token=self.process_token,
         )
+        prefix = f"xrl.{router.class_name}"
+        if any(r.class_name == router.class_name for r in self.routers):
+            prefix = f"{prefix}.{len(self.routers)}"
         self.routers.append(router)
+        self.metrics.gauge(f"{prefix}.batches_sent",
+                           lambda r=router: r.batches_sent)
+        self.metrics.gauge(f"{prefix}.late_replies",
+                           lambda r=router: r.late_replies)
+        self.metrics.gauge(f"{prefix}.retries",
+                           lambda r=router: r.retries_performed)
+        router.bind(METRICS_IDL, self.metrics)
         return router
 
     def bind(self, router: XrlRouter, interface: XrlInterface, impl=None) -> None:

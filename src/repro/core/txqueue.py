@@ -48,6 +48,13 @@ class XrlTransmitQueue:
     def __len__(self) -> int:
         return len(self._queue)
 
+    def register_metrics(self, registry, prefix: str = "txq") -> None:
+        """Expose depth/inflight/sent as gauges on *registry* under
+        ``<prefix>.*`` (lazy reads; nothing on the enqueue hot path)."""
+        registry.gauge(f"{prefix}.depth", lambda: len(self._queue))
+        registry.gauge(f"{prefix}.inflight", lambda: self._inflight)
+        registry.gauge(f"{prefix}.sent", lambda: self.sent_count)
+
     @property
     def inflight(self) -> int:
         return self._inflight

@@ -41,6 +41,16 @@ class EventLoop:
     def now(self) -> float:
         return self.clock.now()
 
+    # -- observability -----------------------------------------------------
+    def register_metrics(self, registry) -> None:
+        """Expose queue depths as gauges on *registry* (a
+        :class:`repro.obs.metrics.MetricsRegistry`).  Gauges are read only
+        at scrape time, so registering costs the loop nothing.
+        """
+        registry.gauge("eventloop.deferred", lambda: len(self._deferred))
+        registry.gauge("eventloop.timers", lambda: len(self.timers))
+        registry.gauge("eventloop.tasks", self.tasks.pending_count)
+
     # -- deferred callbacks -------------------------------------------------
     def call_soon(self, cb: Callable, *args: Any) -> None:
         """Queue *cb* to run on the next loop iteration (an "event")."""

@@ -55,6 +55,9 @@ class FeaProcess(XorpProcess):
         self.profiler = Profiler(self.loop.clock)
         self._prof_arrive = self.profiler.create("route_arrive_fea")
         self._prof_kernel = self.profiler.create("route_kernel")
+        self.metrics.gauge("fib4.routes", lambda: len(self.fib4))
+        self.metrics.gauge("fib6.routes", lambda: len(self.fib6))
+        self.metrics.gauge("mfib.entries", lambda: len(self.mfib))
         self.xrl.bind(FEA_FIB_IDL, self)
         self.xrl.bind(FEA_IFMGR_IDL, self)
         self.xrl.bind(FEA_RAWPKT4_IDL, self)

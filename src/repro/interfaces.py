@@ -205,6 +205,23 @@ interface finder/1.0 {
     target_exists ? target:txt -> exists:bool;
 }
 
+/* ---- Observability (the repro.obs scrape surface) ---------------------
+   Every process binds metrics/1.0, so an external collector can scrape
+   counters/gauges/histograms over XRLs the same way the paper makes
+   profiling externally scriptable (8.1).  trace/1.0 exposes the causal
+   route tracer's reconstructed span trees wherever a harness binds it. */
+
+interface metrics/1.0 {
+    list_metrics -> names:txt;
+    get_metric   ? name:txt -> kind:txt & value:txt;
+    get_metrics  -> report:txt;
+}
+
+interface trace/1.0 {
+    list_traces -> trace_ids:txt;
+    get_spans   ? trace_id:u32 -> spans:txt;
+}
+
 /* ---- Benchmark scaffolding (paper 8.2 XRL performance runs).  The
    ``noargs`` endpoint is served raw (unchecked) so scaling runs can vary
    the atom count without redeclaring a method per payload size. */
@@ -259,4 +276,6 @@ RTRMGR_IDL = interface("rtrmgr/1.0")
 COMMON_IDL = interface("common/0.1")
 PROFILER_IDL = interface("profile/1.0")
 FINDER_IDL = interface("finder/1.0")
+METRICS_IDL = interface("metrics/1.0")
+TRACE_IDL = interface("trace/1.0")
 BENCH_IDL = interface("bench/1.0")

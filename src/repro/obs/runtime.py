@@ -1,0 +1,40 @@
+"""Observability: the tracer and the obs-level metrics behind one switch.
+
+Mirrors :class:`repro.sanitizer.runtime.RuntimeSanitizer`: one object the
+tests, the CLI and harnesses arm/disarm (or use as a context manager).
+
+Arming order matters when sanitizers are also armed: arm sanitizers
+first, then observability, and disarm in LIFO order (observability
+first).  Both instruments rebind ``XrlRouter.send``; LIFO disarm makes
+each restore exactly what it saved.
+"""
+
+from __future__ import annotations
+
+from repro.net import IPNet
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceContext, Tracer
+
+
+class Observability:
+    """Arms/disarms causal tracing plus the obs metric instruments."""
+
+    def __init__(self, *, clock=None):
+        self.metrics = MetricsRegistry("obs")
+        self.tracer = Tracer(clock=clock, metrics=self.metrics)
+
+    def trace(self, net: IPNet) -> TraceContext:
+        return self.tracer.trace(net)
+
+    def arm(self) -> None:
+        self.tracer.arm()
+
+    def disarm(self) -> None:
+        self.tracer.disarm()
+
+    def __enter__(self) -> "Observability":
+        self.arm()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.disarm()

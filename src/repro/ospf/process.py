@@ -81,6 +81,9 @@ class OspfProcess(XorpProcess):
         self.spf_runs = 0
         #: routes currently installed in the RIB: prefix -> (metric, nexthop)
         self._installed: Dict[IPNet, Tuple[int, IPv4]] = {}
+        self.metrics.gauge("routes", lambda: len(self._installed))
+        self.metrics.gauge("lsdb.entries", lambda: len(self.lsdb))
+        self.metrics.gauge("spf.runs", lambda: self.spf_runs)
         self.xrl.bind(OSPF_IDL, self)
         self.xrl.bind(FEA_RAWPKT_CLIENT4_IDL, self)
         self.xrl.bind(COMMON_IDL, self)

@@ -152,10 +152,13 @@ class RibProcess(XorpProcess):
         self.retry_policy = retry_policy
         self.txq = XrlTransmitQueue(self.xrl, window=window,
                                     retry=retry_policy)
+        self.txq.register_metrics(self.metrics)
         self.v4 = _Pipeline(32, "4", self._emit_fea4, self._notify_invalid4,
                             self._emit_fea4_batch)
         self.v6 = _Pipeline(128, "6", self._emit_fea6, lambda *a: None,
                             self._emit_fea6_batch)
+        self.metrics.gauge("tables4", lambda: len(self.v4.origins))
+        self.metrics.gauge("tables6", lambda: len(self.v6.origins))
         for protocol in self.BUILTIN_IGP_TABLES:
             self.v4.add_origin(protocol, external=False)
             self.v6.add_origin(protocol, external=False)

@@ -94,6 +94,8 @@ class RipProcess(XorpProcess):
         self.ports: Dict[str, RipPort] = {}
         self.routes = RouteTrie(32)
         self._triggered_pending = False
+        self.metrics.gauge("routes", lambda: len(self.routes))
+        self.metrics.gauge("ports", lambda: len(self.ports))
         self.xrl.bind(RIP_IDL, self)
         self.xrl.bind(FEA_RAWPKT_CLIENT4_IDL, self)
         self.xrl.bind(REDIST4_IDL, self)

@@ -74,6 +74,8 @@ class RouterManager(XorpProcess):
         #: hook fired after a BGP peer is configured: (peer_addr, handler)
         self.on_peer_added: Optional[Callable] = None
         self.commit_count = 0
+        self.metrics.gauge("modules", lambda: len(self.modules))
+        self.metrics.gauge("commits", lambda: self.commit_count)
 
     # -- candidate configuration editing ------------------------------------
     def set(self, path_text: str, value: Any = None) -> None:

@@ -154,6 +154,9 @@ class Supervisor:
         self.on_restarted: Optional[Callable] = None
         self.on_gave_up: Optional[Callable] = None
         self.restarts = 0
+        manager.metrics.gauge("supervisor.restarts", lambda: self.restarts)
+        manager.metrics.gauge("supervisor.modules",
+                              lambda: len(self._modules))
 
     # -- registration -------------------------------------------------------
     def add_module(self, name: str, *, restart: Callable,

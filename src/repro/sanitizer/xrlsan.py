@@ -21,8 +21,9 @@ import functools
 from typing import Dict, FrozenSet, Optional
 
 from repro import interfaces
+from repro.obs.trace import TRACE_ARG
 from repro.sanitizer.report import ViolationLog
-from repro.xrl import Xrl, XrlError, XrlInterface, XrlRouter
+from repro.xrl import Xrl, XrlArgs, XrlError, XrlInterface, XrlRouter
 
 #: interfaces intentionally dispatched without IDL conformance
 DEFAULT_EXEMPT: FrozenSet[str] = frozenset({"bench/1.0"})
@@ -109,11 +110,18 @@ class XrlDispatchSanitizer:
                 f"interface {fullname!r} declares no method {xrl.method!r}",
                 {"interface": fullname, "method": xrl.method})
             return
+        args = xrl.args
+        if args.has(TRACE_ARG):
+            # The reserved obs trace-context atom rides outside every IDL
+            # signature (like bench/1.0 it is deliberately unchecked):
+            # strip it before conformance checking so an armed tracer and
+            # an armed sanitizer compose.
+            args = XrlArgs([a for a in args if a.name != TRACE_ARG])
         try:
-            method.check_args(xrl.args)
+            method.check_args(args)
         except XrlError as exc:
             self.log.record(
                 "SAN103", origin,
                 f"arguments disagree with the IDL signature: {exc}",
                 {"interface": fullname, "method": xrl.method,
-                 "args": sorted(atom.name for atom in xrl.args)})
+                 "args": sorted(atom.name for atom in args)})

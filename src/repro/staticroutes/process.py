@@ -25,6 +25,7 @@ class StaticRoutesProcess(XorpProcess):
         self.rib_target = rib_target
         self.xrl = self.create_router("static_routes", singleton=True)
         self.routes: Dict[IPNet, tuple] = {}
+        self.metrics.gauge("routes", lambda: len(self.routes))
         self.xrl.bind(STATIC_ROUTES_IDL, self)
         self.xrl.bind(COMMON_IDL, self)
 

@@ -6,14 +6,20 @@ each decoder and asserts the only observable outcomes are (a) a valid
 decode or (b) the codec's declared error type.
 """
 
+import struct
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bgp.messages import (
+    MARKER,
     BGPDecodeError,
+    ErrorCode,
     KeepaliveMessage,
     MessageReader,
+    MessageType,
+    NotificationMessage,
     OpenMessage,
     UpdateMessage,
     decode_message,
@@ -81,6 +87,64 @@ class TestBgpFuzz:
         try:
             PathAttributeList.decode(data)
         except BGPAttributeError:
+            pass
+
+
+class TestBgpNotificationFuzz:
+    """NOTIFICATION error-code/subcode edges: every defined code
+    round-trips with arbitrary subcodes and data; reserved/unknown codes
+    and truncated bodies raise the structured ``BGPDecodeError`` (which
+    carries its own error code for the peer's CEASE) — never a bare
+    ``ValueError`` leaking out of the ``ErrorCode`` enum lookup."""
+
+    @settings(max_examples=200)
+    @given(st.sampled_from(sorted(ErrorCode)),
+           st.integers(0, 255), st.binary(max_size=64))
+    def test_known_codes_round_trip(self, code, subcode, data):
+        message = NotificationMessage(code, subcode, data)
+        decoded = decode_message(message.encode())
+        assert isinstance(decoded, NotificationMessage)
+        assert decoded.code == code
+        assert decoded.subcode == subcode
+        assert decoded.data == data
+
+    @settings(max_examples=200)
+    @given(st.integers(0, 255), st.integers(0, 255), st.binary(max_size=64))
+    def test_unknown_codes_raise_structured_error(self, code, subcode, data):
+        """Code 0 and anything above CEASE are reserved/unassigned."""
+        body = bytes([code, subcode]) + data
+        frame = MARKER + struct.pack(
+            "!HB", 19 + len(body), MessageType.NOTIFICATION) + body
+        defined = {int(c) for c in ErrorCode}
+        try:
+            decoded = decode_message(frame)
+        except BGPDecodeError as exc:
+            # Reserved codes must fail closed, with the decode error
+            # itself carrying a *valid* NOTIFICATION code.
+            assert code not in defined
+            assert isinstance(exc.code, ErrorCode)
+        else:
+            assert code in defined
+            assert int(decoded.code) == code
+
+    @settings(max_examples=100)
+    @given(st.binary(max_size=1))
+    def test_short_body_raises_structured_error(self, body):
+        frame = MARKER + struct.pack(
+            "!HB", 19 + len(body), MessageType.NOTIFICATION) + body
+        with pytest.raises(BGPDecodeError):
+            decode_message(frame)
+
+    @settings(max_examples=200)
+    @given(st.integers(0, 200), st.integers(0, 255))
+    def test_mutated_notification(self, index, value):
+        """Byte-level mutations of a valid NOTIFICATION: decode cleanly
+        or raise the declared error type, never anything else."""
+        pristine = NotificationMessage(
+            ErrorCode.CEASE, 2, b"shutdown").encode()
+        try:
+            decode_message(_mutate(pristine, index, value))
+        except BGPDecodeError:
             pass
 
 

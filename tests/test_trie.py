@@ -332,3 +332,77 @@ class TestPropertyOracle:
         # Everything yielded must be unique and ordered.
         keys = [n.key() for n in seen]
         assert keys == sorted(set(keys))
+
+
+# -- longest-prefix-match vs brute force, v4 and v6, with deletions ------
+
+prefix6_strategy = st.builds(
+    lambda v, p: IPNet(IPv6(v), p),
+    st.integers(min_value=0, max_value=(1 << 128) - 1),
+    st.integers(min_value=0, max_value=128),
+)
+
+
+def _brute_force_lpm(prefixes, addr):
+    """The LPM oracle: longest prefix containing *addr*, or None."""
+    best = None
+    for p in prefixes:
+        if p.contains_addr(addr):
+            if best is None or p.prefix_len > best.prefix_len:
+                best = p
+    return best
+
+
+class TestLpmVsBruteForce:
+    """LPM equivalence against a linear-scan oracle over random prefix
+    sets, both families, including cover fallback after deletions: when
+    a more-specific route is removed, lookups must *uncover* the
+    next-less-specific covering prefix (or none) exactly as the oracle
+    does."""
+
+    def _check(self, trie, live, probes):
+        for addr in probes:
+            expected = _brute_force_lpm(live, addr)
+            got = trie.best_match(addr)
+            if expected is None:
+                assert got is None, (addr, got)
+            else:
+                assert got is not None and got[0] == expected, (
+                    addr, got, expected)
+
+    def _run(self, bits, addr_cls, prefixes, addr_values, delete_index):
+        trie = RouteTrie(bits)
+        # Dedupe: inserting the same net twice replaces, keeping one entry.
+        live = {p.key(): p for p in prefixes}
+        for p in prefixes:
+            trie.insert(p, str(p))
+        # Probe both arbitrary addresses and each prefix's first address
+        # (the latter guarantee covered addresses actually get probed).
+        probes = [addr_cls(v) for v in addr_values]
+        probes += [p.first_addr() for p in live.values()]
+        self._check(trie, live.values(), probes)
+        # Delete roughly half the distinct prefixes, then re-check: the
+        # trie must fall back to each address's remaining cover.
+        victims = sorted(live.values(), key=lambda n: n.key())
+        victims = victims[delete_index % max(1, len(victims))::2]
+        for victim in victims:
+            assert trie.remove(victim) == str(victim)
+            del live[victim.key()]
+        self._check(trie, live.values(), probes)
+        assert len(trie) == len(live)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(prefix_strategy, min_size=1, max_size=40),
+           st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                    min_size=1, max_size=10),
+           st.integers(min_value=0, max_value=1))
+    def test_lpm_v4(self, prefixes, addr_values, delete_index):
+        self._run(32, IPv4, prefixes, addr_values, delete_index)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(prefix6_strategy, min_size=1, max_size=40),
+           st.lists(st.integers(min_value=0, max_value=(1 << 128) - 1),
+                    min_size=1, max_size=10),
+           st.integers(min_value=0, max_value=1))
+    def test_lpm_v6(self, prefixes, addr_values, delete_index):
+        self._run(128, IPv6, prefixes, addr_values, delete_index)
