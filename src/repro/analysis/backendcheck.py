@@ -1,0 +1,89 @@
+"""Pluggable-dataplane discipline: backends are selected, not hardwired.
+
+    "The FEA provides a stable API for communicating with a forwarding
+    engine or engines."  (paper §3)
+
+The stability of that API rests on the forwarding engine being a
+*configuration choice*: the FEA names a backend ("trie", "flowrule",
+"netlink") and :func:`repro.fea.backends.make_backend` resolves it
+through the registry.  FEA code that instantiates a concrete backend
+class directly (``NetlinkFibBackend(...)``) re-couples the abstraction
+layer to one engine — the selection can no longer be swapped by
+configuration, and new backends registered by extension code are
+invisible to it.  BKD001 flags any such construction inside the ``fea``
+package outside ``fea/backends/`` itself (the registry and the backend
+implementations are of course allowed to build their own classes).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.core import Checker, Finding, ModuleInfo, ProjectIndex
+
+#: the concrete implementations shipped by repro.fea.backends — known by
+#: name so single-file fixtures (and moved call sites) are still caught
+#: even when the backends package is outside the analyzed path set.
+KNOWN_BACKEND_CLASSES = frozenset({
+    "TrieFibBackend", "FlowRuleBackend", "NetlinkFibBackend",
+})
+
+#: the abstract base every backend implements
+BACKEND_BASE = "FibBackend"
+
+
+class BackendConstructionChecker(Checker):
+    name = "backend"
+    rules = ("BKD001",)
+
+    def check(self, module: ModuleInfo, project: ProjectIndex
+              ) -> Iterator[Finding]:
+        if module.package != "fea" or "backends" in module.logical:
+            return
+        backend_classes = (KNOWN_BACKEND_CLASSES
+                           | _backend_subclasses(project))
+        path = str(module.path)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_class_name(node.func)
+            if name in backend_classes:
+                yield Finding(
+                    path, node.lineno, "BKD001",
+                    f"direct construction of FIB backend {name!r} outside "
+                    "repro.fea.backends; select backends through "
+                    "make_backend(name) so the engine stays a "
+                    "configuration choice")
+
+
+def _call_class_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _backend_subclasses(project: ProjectIndex) -> Set[str]:
+    """Class names subclassing FibBackend anywhere in the analyzed set."""
+    bases_of = {}
+    for name, entries in project.classes.items():
+        names = set()
+        for __, node in entries:
+            for base in node.bases:
+                base_name = _call_class_name(base)
+                if base_name is not None:
+                    names.add(base_name)
+        bases_of[name] = names
+    subclasses: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, bases in bases_of.items():
+            if name in subclasses:
+                continue
+            if BACKEND_BASE in bases or bases & subclasses:
+                subclasses.add(name)
+                changed = True
+    return subclasses

@@ -58,6 +58,9 @@ RULES: Dict[str, Rule] = {
         Rule("STG001", "stage message passes or declares 'caller' "
                        "positionally; the API requires it keyword-only",
              "§5"),
+        Rule("BKD001", "FEA code constructs a FIB backend class directly "
+                       "instead of selecting it through make_backend()",
+             "§3"),
         # Runtime rules: emitted by repro.sanitizer, never by the static
         # checkers.  They live in the same catalogue so reports, formats
         # and suppressions share one namespace.

@@ -23,6 +23,7 @@ from repro.analysis.core import (
 
 
 def default_checkers() -> List[Checker]:
+    from repro.analysis.backendcheck import BackendConstructionChecker
     from repro.analysis.callbacks import CallbackSafetyChecker
     from repro.analysis.determinism import DeterminismChecker
     from repro.analysis.isolation import IsolationChecker
@@ -35,6 +36,7 @@ def default_checkers() -> List[Checker]:
         DeterminismChecker(),
         CallbackSafetyChecker(),
         StageMessageChecker(),
+        BackendConstructionChecker(),
     ]
 
 

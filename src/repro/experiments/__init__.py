@@ -16,7 +16,10 @@ One module per experiment family:
 * :mod:`repro.experiments.synth`     — synthetic backbone feed generator
   (the stand-in for the paper's 146,515-route Internet feed);
 * :mod:`repro.experiments.recovery`  — supervised crash recovery: kill
-  BGP mid-session under seeded frame loss, measure time-to-reconverge.
+  BGP mid-session under seeded frame loss, measure time-to-reconverge;
+* :mod:`repro.experiments.resilience` — dataplane-backend resilience:
+  blackhole time across a backend crash/reattach, and the watermark
+  bound on a full-table flush into a slow backend.
 """
 
 from repro.experiments.batchflow import (
@@ -29,17 +32,27 @@ from repro.experiments.synth import synthetic_feed
 from repro.experiments.xrlperf import XrlPerfResult, run_xrl_throughput
 from repro.experiments.latency import LatencyResult, run_latency_experiment
 from repro.experiments.recovery import RecoveryResult, run_recovery
+from repro.experiments.resilience import (
+    ResilienceResult,
+    ThrottledFlushResult,
+    run_backend_resilience,
+    run_throttled_flush,
+)
 from repro.experiments.routeflow import RouteFlowResult, run_route_flow
 
 __all__ = [
     "BATCH_SIZES",
     "LatencyResult",
     "RecoveryResult",
+    "ResilienceResult",
     "RouteFlowResult",
+    "ThrottledFlushResult",
     "XrlPerfResult",
     "record_trajectory",
+    "run_backend_resilience",
     "run_latency_experiment",
     "run_recovery",
+    "run_throttled_flush",
     "run_route_batch_sweep",
     "run_route_flow",
     "run_xrl_batch_sweep",

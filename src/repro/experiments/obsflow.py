@@ -40,6 +40,7 @@ from repro.xrl import Xrl, XrlArgs
 #: the metrics this scenario must visibly move; zero means broken plumbing
 EXPECTED_NONZERO = (
     "fea.fib4.routes",
+    "fea.backend.acks",
     "rib.txq.sent",
     "bgp.txq.sent",
 )

@@ -1,0 +1,56 @@
+"""The in-memory trie backend: the seed's simulated kernel, as a backend.
+
+Synchronous and infallible — every operation is applied and acked within
+the ``apply`` call — so it doubles as the reference implementation the
+fault-injecting backends are tested against: under any fault schedule,
+after reconciliation, a faulty backend's ``dump()`` must equal what this
+backend would hold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.fea.backends.base import ADD, CompletionCallback, FibBackend, FibOp
+from repro.fea.fib import FibEntry
+from repro.trie import RouteTrie
+
+
+class TrieFibBackend(FibBackend):
+    """Longest-prefix-match tries per family; sync, always acks."""
+
+    name = "trie"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._tables: Dict[int, RouteTrie] = {
+            32: RouteTrie(32), 128: RouteTrie(128)}
+        self._completion: Optional[CompletionCallback] = None
+
+    def open(self, loop, completion: CompletionCallback) -> None:
+        self._completion = completion
+
+    def close(self) -> None:
+        self._completion = None
+
+    def apply(self, ops: Sequence[FibOp]) -> None:
+        completion = self._completion
+        for op in ops:
+            table = self._tables[op.bits]
+            if op.op == ADD:
+                table.insert(op.entry.net, op.entry)
+            else:
+                table.discard(op.entry.net)
+            if completion is not None:
+                completion(op.seq, True, "")
+
+    def dump(self, bits: int) -> List[FibEntry]:
+        return [entry for __, entry in self._tables[bits].items()]
+
+    def lookup(self, addr) -> Optional[FibEntry]:
+        """Longest-prefix match (the per-packet dataplane consultation)."""
+        match = self._tables[addr.BITS].best_match(addr)
+        return match[1] if match is not None else None
+
+    def __len__(self) -> int:
+        return sum(len(table) for table in self._tables.values())

@@ -1,0 +1,315 @@
+"""The backend driver: retries, timeouts, backpressure, reconciliation.
+
+This is the robustness layer between the FEA's XRL surface and a
+:class:`~repro.fea.backends.base.FibBackend`.  The FEA keeps *shadow
+tables* (plain :class:`~repro.fea.fib.Fib` instances) that always hold
+the control plane's **intended** forwarding state; the driver's job is
+to make the dataplane converge to the shadow no matter how the backend
+misbehaves:
+
+* **nack** → per-op retry with capped exponential backoff (operations
+  are idempotent, so blind retransmission is safe);
+* **lost ack** → an ack-timeout sweep resubmits operations whose
+  completion never arrived (the sweep timer only runs while operations
+  are pending, so a synchronous backend costs no timers at all);
+* **slow backend** → the count of unacknowledged operations is the
+  *backpressure window*: above ``high_watermark`` the driver latches
+  ``congested`` (cleared at ``low_watermark``), and the FEA piggybacks
+  that bit on every FIB XRL reply so the RIB can pause;
+* **crash** → the driver goes *stale*: writes update only the shadow
+  (lookups keep being served from it — graceful degradation), and on
+  the backend's up edge :meth:`reconcile` diffs ``dump()`` against the
+  shadow per family and replays exactly the delta.
+
+Reconciliation replays flow through the same retry/timeout machinery,
+so convergence holds even when the repair traffic itself is faulted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.fea.backends.base import ADD, DELETE, FibBackend, FibOp
+from repro.fea.fib import Fib, FibEntry
+from repro.net import IPNet
+
+
+class _Pending:
+    """One submitted operation awaiting its ack."""
+
+    __slots__ = ("op", "attempts", "deadline")
+
+    def __init__(self, op: FibOp, attempts: int, deadline: float):
+        self.op = op
+        self.attempts = attempts
+        self.deadline = deadline
+
+
+class BackendDriver:
+    """Drives one :class:`FibBackend` toward the FEA's shadow tables."""
+
+    def __init__(self, backend: FibBackend, loop, *,
+                 fib4: Fib, fib6: Fib,
+                 high_watermark: int = 512, low_watermark: int = 128,
+                 max_attempts: int = 6,
+                 retry_base: float = 0.05, retry_cap: float = 1.0,
+                 ack_timeout: float = 2.0):
+        if low_watermark > high_watermark:
+            raise ValueError("low_watermark must be <= high_watermark")
+        if retry_base <= 0 or ack_timeout <= 0:
+            raise ValueError("retry_base and ack_timeout must be > 0")
+        self.backend = backend
+        self.loop = loop
+        self.shadow = {32: fib4, 128: fib6}
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.max_attempts = max_attempts
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self.ack_timeout = ack_timeout
+
+        self._seq = 0
+        self._pending: Dict[int, _Pending] = {}
+        self.peak_pending = 0
+        self._retries_scheduled = 0
+        self._sweep_scheduled = False
+        self._congested = False
+        self._stale = not backend.healthy
+
+        # Counters live on the driver even before register_metrics so the
+        # bookkeeping never needs None checks; registration swaps them
+        # for the registry's instruments.
+        self._c_acks = _NullCounter()
+        self._c_nacks = _NullCounter()
+        self._c_retries = _NullCounter()
+        self._c_ack_timeouts = _NullCounter()
+        self._c_failed = _NullCounter()
+        self._c_deferred = _NullCounter()
+        self._c_rec_runs = _NullCounter()
+        self._c_rec_adds = _NullCounter()
+        self._c_rec_deletes = _NullCounter()
+
+        backend.set_health_listener(self._on_health)
+        backend.open(loop, self._on_completion)
+
+    def close(self) -> None:
+        self.backend.set_health_listener(None)
+        self.backend.close()
+        self._pending.clear()
+
+    # -- observability --------------------------------------------------------
+    def register_metrics(self, metrics) -> None:
+        """Register the driver's counters and gauges on a process registry."""
+        self._c_acks = metrics.counter("backend.acks")
+        self._c_nacks = metrics.counter("backend.nacks")
+        self._c_retries = metrics.counter("backend.retries")
+        self._c_ack_timeouts = metrics.counter("backend.ack_timeouts")
+        self._c_failed = metrics.counter("backend.failed")
+        self._c_deferred = metrics.counter("backend.deferred")
+        self._c_rec_runs = metrics.counter("backend.reconcile.runs")
+        self._c_rec_adds = metrics.counter("backend.reconcile.adds")
+        self._c_rec_deletes = metrics.counter("backend.reconcile.deletes")
+        metrics.gauge("backend.pending", lambda: len(self._pending))
+        metrics.gauge("backend.peak_pending", lambda: self.peak_pending)
+        metrics.gauge("backend.congested", lambda: self._congested)
+        metrics.gauge("backend.stale", lambda: self._stale)
+
+    @property
+    def queued(self) -> int:
+        """Operations submitted but not yet acked (the pressure signal)."""
+        return len(self._pending)
+
+    @property
+    def congested(self) -> bool:
+        """Latched above ``high_watermark``, released at ``low_watermark``."""
+        return self._congested
+
+    @property
+    def stale(self) -> bool:
+        """True while the dataplane is down and the shadow is authoritative."""
+        return self._stale
+
+    @property
+    def settled(self) -> bool:
+        """No pending acks and no retry timers outstanding (for tests)."""
+        return not self._pending and self._retries_scheduled == 0
+
+    def status(self) -> str:
+        """Supervisor-visible one-word dataplane state."""
+        if self._stale:
+            return "stale"
+        if self._congested:
+            return "congested"
+        return "synced"
+
+    # -- the write path (shadow first, then the dataplane) --------------------
+    def add(self, entry: FibEntry) -> None:
+        self.add_batch([entry])
+
+    def delete(self, net: IPNet) -> None:
+        self.delete_batch([net])
+
+    def add_batch(self, entries: Iterable[FibEntry]) -> None:
+        ops = []
+        for entry in entries:
+            self.shadow[entry.net.bits].insert(entry)
+            ops.append(FibOp(ADD, entry))
+        self._submit(ops)
+
+    def delete_batch(self, nets: Iterable[IPNet]) -> None:
+        ops = []
+        for net in nets:
+            removed = self.shadow[net.bits].remove(net)
+            # A delete for a prefix we never held still goes to the
+            # dataplane (it may hold it — e.g. an add whose ack we lost
+            # judged failed); removing an absent entry is a no-op there.
+            entry = removed if removed is not None else \
+                FibEntry(net, type(net.network)(0), "")
+            ops.append(FibOp(DELETE, entry))
+        self._submit(ops)
+
+    def _submit(self, ops: List[FibOp]) -> None:
+        if not ops:
+            return
+        if self._stale:
+            # Dataplane down: the shadow recorded the intent; the
+            # reconciliation pass on reattach replays the delta.
+            self._c_deferred.inc(len(ops))
+            return
+        deadline = self.loop.clock.now() + self.ack_timeout
+        for op in ops:
+            self._seq += 1
+            op.seq = self._seq
+            self._pending[op.seq] = _Pending(op, attempts=1, deadline=deadline)
+        self._update_congestion()
+        self.backend.apply(ops)
+        self._schedule_sweep()
+
+    # -- completions -----------------------------------------------------------
+    def _on_completion(self, seq: int, ok: bool, reason: str) -> None:
+        pending = self._pending.pop(seq, None)
+        if pending is None:
+            return  # late ack for an op we resubmitted or abandoned
+        if ok:
+            self._c_acks.inc()
+            self._update_congestion()
+            return
+        self._c_nacks.inc()
+        if pending.attempts >= self.max_attempts:
+            # Give up; the shadow still holds the intent, so the next
+            # reconciliation pass repairs the divergence.
+            self._c_failed.inc()
+            self._update_congestion()
+            return
+        # Capped exponential backoff, then retransmit the same op (same
+        # payload, fresh seq) through the normal submission path.
+        delay = min(self.retry_cap,
+                    self.retry_base * (2 ** (pending.attempts - 1)))
+        self._retries_scheduled += 1
+        self.loop.call_later(
+            delay, lambda: self._retry(pending), name="fib-retry")
+
+    def _retry(self, pending: _Pending) -> None:
+        self._retries_scheduled -= 1
+        if self._stale:
+            self._c_deferred.inc()
+            return
+        self._c_retries.inc()
+        op = pending.op
+        self._seq += 1
+        op.seq = self._seq
+        self._pending[op.seq] = _Pending(
+            op, attempts=pending.attempts + 1,
+            deadline=self.loop.clock.now() + self.ack_timeout)
+        self._update_congestion()
+        self.backend.apply([op])
+        self._schedule_sweep()
+
+    # -- ack timeouts ------------------------------------------------------------
+    def _schedule_sweep(self) -> None:
+        if self._sweep_scheduled or not self._pending:
+            return
+        self._sweep_scheduled = True
+        self.loop.call_later(self.ack_timeout / 2, self._sweep,
+                             name="fib-ack-sweep")
+
+    def _sweep(self) -> None:
+        self._sweep_scheduled = False
+        if self._stale:
+            return
+        now = self.loop.clock.now()
+        expired = [p for p in self._pending.values() if p.deadline <= now]
+        resubmit = []
+        for pending in expired:
+            del self._pending[pending.op.seq]
+            if pending.attempts >= self.max_attempts:
+                self._c_failed.inc()
+                continue
+            self._c_ack_timeouts.inc()
+            self._c_retries.inc()
+            op = pending.op
+            self._seq += 1
+            op.seq = self._seq
+            self._pending[op.seq] = _Pending(
+                op, attempts=pending.attempts + 1,
+                deadline=now + self.ack_timeout)
+            resubmit.append(op)
+        self._update_congestion()
+        if resubmit:
+            self.backend.apply(resubmit)
+        self._schedule_sweep()
+
+    # -- backpressure ------------------------------------------------------------
+    def _update_congestion(self) -> None:
+        if len(self._pending) > self.peak_pending:
+            self.peak_pending = len(self._pending)
+        if not self._congested and len(self._pending) >= self.high_watermark:
+            self._congested = True
+        elif self._congested and len(self._pending) <= self.low_watermark:
+            self._congested = False
+
+    # -- health / degradation ------------------------------------------------------
+    def _on_health(self, healthy: bool) -> None:
+        if not healthy:
+            # Everything in flight died with the channel.  The shadow has
+            # it all, so abandon the acks and let reconciliation repair.
+            self._c_deferred.inc(len(self._pending))
+            self._pending.clear()
+            self._congested = False
+            self._stale = True
+            return
+        self._stale = False
+        self.reconcile()
+
+    # -- reconciliation ---------------------------------------------------------
+    def reconcile(self) -> Tuple[int, int]:
+        """Diff ``backend.dump()`` against the shadow; replay the delta.
+
+        Returns ``(adds, deletes)`` — the number of repair operations
+        submitted.  Repairs flow through the normal retry/timeout path,
+        so they too survive faults.
+        """
+        self._c_rec_runs.inc()
+        ops: List[FibOp] = []
+        for bits, fib in self.shadow.items():
+            want = {entry for __, entry in fib.entries()}
+            have = set(self.backend.dump(bits))
+            for entry in sorted(want - have, key=lambda e: str(e.net)):
+                ops.append(FibOp(ADD, entry))
+            for entry in sorted(have - want, key=lambda e: str(e.net)):
+                ops.append(FibOp(DELETE, entry))
+        adds = sum(1 for op in ops if op.op == ADD)
+        deletes = len(ops) - adds
+        self._c_rec_adds.inc(adds)
+        self._c_rec_deletes.inc(deletes)
+        self._submit(ops)
+        return adds, deletes
+
+
+class _NullCounter:
+    """Stand-in until :meth:`BackendDriver.register_metrics` runs."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass

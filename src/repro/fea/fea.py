@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from repro.core.process import Host, XorpProcess
+from repro.fea.backends import FibBackend, make_backend
+from repro.fea.driver import BackendDriver
 from repro.fea.fib import Fib, FibEntry
 from repro.fea.ifmgr import InterfaceManager
 from repro.fea.rawsock import PacketIO, RawSocketRelay
@@ -42,11 +44,25 @@ class FeaProcess(XorpProcess):
 
     process_name = "fea"
 
-    def __init__(self, host: Host, *, packet_io: Optional[PacketIO] = None):
+    def __init__(self, host: Host, *, packet_io: Optional[PacketIO] = None,
+                 backend: Union[str, FibBackend] = "trie",
+                 backend_options: Optional[dict] = None,
+                 driver_options: Optional[dict] = None):
         super().__init__(host)
         self.xrl = self.create_router("fea", singleton=True)
+        #: shadow tables: the control plane's *intended* forwarding state.
+        #: Lookups are always served from here, so the FEA keeps answering
+        #: even while the dataplane backend is down (graceful degradation).
         self.fib4 = Fib(32)
         self.fib6 = Fib(128)
+        if isinstance(backend, str):
+            backend = make_backend(backend, **(backend_options or {}))
+        self.backend = backend
+        self.driver = BackendDriver(backend, self.loop,
+                                    fib4=self.fib4, fib6=self.fib6,
+                                    **(driver_options or {}))
+        self.driver.register_metrics(self.metrics)
+        self.metrics.gauge("backend.healthy", lambda: self.backend.healthy)
         self.ifmgr = InterfaceManager()
         self.mfib: Dict[Tuple[int, int], MfcEntry] = {}
         self.relay: Optional[RawSocketRelay] = None
@@ -72,29 +88,58 @@ class FeaProcess(XorpProcess):
         self.relay.set_notifier(self._notify_recv_udp)
 
     # -- fea_fib/1.0 -----------------------------------------------------
-    def xrl_add_entry4(self, net, nexthop, ifname) -> None:
+    # One family-agnostic helper per arity: v4 and v6 share segmenting,
+    # profiling, and the backpressure reply (queued / congested).
+    def _fib_status(self) -> dict:
+        return {"queued": self.driver.queued,
+                "congested": self.driver.congested}
+
+    def _fib_add(self, net, nexthop, ifname) -> dict:
         self._prof_arrive.log(f"add {net}")
         # "the FEA will unconditionally install the route in the kernel or
-        # the forwarding engine."
-        self.fib4.insert(FibEntry(net, nexthop, ifname))
+        # the forwarding engine." — the shadow records the intent now; the
+        # driver converges the backend to it.
+        self.driver.add(FibEntry(net, nexthop, ifname))
         self._prof_kernel.log(f"add {net}")
+        return self._fib_status()
 
-    def xrl_delete_entry4(self, net) -> None:
+    def _fib_delete(self, net) -> dict:
         self._prof_arrive.log(f"delete {net}")
-        self.fib4.remove(net)
+        self.driver.delete(net)
         self._prof_kernel.log(f"delete {net}")
+        return self._fib_status()
 
-    def xrl_add_entries4(self, nets, nexthops, ifnames) -> None:
-        for net, nexthop, ifname in zip(nets, nexthops, ifnames):
-            self._prof_arrive.log(f"add {net.value}")
-            self.fib4.insert(FibEntry(net.value, nexthop.value, ifname.value))
-            self._prof_kernel.log(f"add {net.value}")
+    def _fib_add_vector(self, nets, nexthops, ifnames) -> dict:
+        entries = [FibEntry(net.value, nexthop.value, ifname.value)
+                   for net, nexthop, ifname
+                   in zip(nets, nexthops, ifnames)]
+        for entry in entries:
+            self._prof_arrive.log(f"add {entry.net}")
+        # The vectorized segment reaches the backend as one apply() batch.
+        self.driver.add_batch(entries)
+        for entry in entries:
+            self._prof_kernel.log(f"add {entry.net}")
+        return self._fib_status()
 
-    def xrl_delete_entries4(self, nets) -> None:
+    def _fib_delete_vector(self, nets) -> dict:
         for net in nets:
             self._prof_arrive.log(f"delete {net.value}")
-            self.fib4.remove(net.value)
+        self.driver.delete_batch([net.value for net in nets])
+        for net in nets:
             self._prof_kernel.log(f"delete {net.value}")
+        return self._fib_status()
+
+    def xrl_add_entry4(self, net, nexthop, ifname) -> dict:
+        return self._fib_add(net, nexthop, ifname)
+
+    def xrl_delete_entry4(self, net) -> dict:
+        return self._fib_delete(net)
+
+    def xrl_add_entries4(self, nets, nexthops, ifnames) -> dict:
+        return self._fib_add_vector(nets, nexthops, ifnames)
+
+    def xrl_delete_entries4(self, nets) -> dict:
+        return self._fib_delete_vector(nets)
 
     def xrl_lookup_entry4(self, addr) -> dict:
         entry = self.fib4.lookup(addr)
@@ -110,19 +155,30 @@ class FeaProcess(XorpProcess):
         return {"resolves": True, "net": entry.net,
                 "nexthop": entry.nexthop, "ifname": ifname}
 
-    def xrl_add_entries6(self, nets, nexthops, ifnames) -> None:
-        for net, nexthop, ifname in zip(nets, nexthops, ifnames):
-            self.fib6.insert(FibEntry(net.value, nexthop.value, ifname.value))
+    def xrl_add_entries6(self, nets, nexthops, ifnames) -> dict:
+        return self._fib_add_vector(nets, nexthops, ifnames)
 
-    def xrl_delete_entries6(self, nets) -> None:
-        for net in nets:
-            self.fib6.remove(net.value)
+    def xrl_delete_entries6(self, nets) -> dict:
+        return self._fib_delete_vector(nets)
 
-    def xrl_add_entry6(self, net, nexthop, ifname) -> None:
-        self.fib6.insert(FibEntry(net, nexthop, ifname))
+    def xrl_add_entry6(self, net, nexthop, ifname) -> dict:
+        return self._fib_add(net, nexthop, ifname)
 
-    def xrl_delete_entry6(self, net) -> None:
-        self.fib6.remove(net)
+    def xrl_delete_entry6(self, net) -> dict:
+        return self._fib_delete(net)
+
+    # -- dataplane management -------------------------------------------
+    def xrl_get_backend_status(self) -> dict:
+        return {"backend": self.backend.name,
+                "healthy": self.backend.healthy,
+                "state": self.driver.status()}
+
+    def xrl_get_queue_status(self) -> dict:
+        return self._fib_status()
+
+    def xrl_reconcile(self) -> dict:
+        adds, deletes = self.driver.reconcile()
+        return {"adds": adds, "deletes": deletes}
 
     # -- fea_ifmgr/1.0 ---------------------------------------------------
     def xrl_get_interfaces(self) -> dict:
@@ -192,6 +248,7 @@ class FeaProcess(XorpProcess):
             for creator in self._socket_creators:
                 self.host.finder.unwatch(self._socket_watcher_name(),
                                          creator)
+            self.driver.close()
         super().shutdown()
 
     def xrl_close_udp(self, creator, ifname, port) -> None:

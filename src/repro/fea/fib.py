@@ -35,6 +35,11 @@ class FibEntry:
             and self.ifname == other.ifname
         )
 
+    def __hash__(self) -> int:
+        # Hash exactly the fields __eq__ compares, so entries can key the
+        # shadow-vs-dump diff sets reconciliation is built on.
+        return hash((self.net, self.nexthop, self.ifname))
+
 
 class Fib:
     """Longest-prefix-match forwarding table for one address family."""

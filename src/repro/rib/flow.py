@@ -1,0 +1,208 @@
+"""RIB-side flow control for the route stream toward the FEA.
+
+The FEA's dataplane backend can be slower than the control plane; its
+driver reports pressure (``queued``/``congested``) on every FIB XRL
+reply.  This controller sits between the RIB's distributor stages and
+the transmit queue and turns that signal into *pacing*:
+
+* routes enter a FIFO of ``(family, op, route)`` events; the pump
+  drains maximal same-``(family, op)`` runs into vectorized XRLs (one
+  route stays a singular XRL), segmented by the RIB's batch limit —
+  exactly the wire shapes the unpaced path produced;
+* an **in-flight window** bounds the operations sent but not yet
+  replied to, so even before the first congestion signal the FEA's
+  pending queue cannot be swamped;
+* a ``congested: true`` reply **pauses** the pump; while paused the
+  controller polls ``get_queue_status`` until the FEA's watermark latch
+  releases, then resumes;
+* if the backlog exceeds its **high watermark**, the controller sheds
+  superseded events, oldest first: an event is dropped when a newer
+  event for the same prefix sits behind it in the queue (FIB ops are
+  last-writer-wins per prefix, so only each prefix's newest queued op
+  determines the final table).
+
+The queue length is therefore bounded by the number of *distinct*
+prefixes in flight, not by the churn rate — the property the resilience
+benchmark asserts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Tuple
+
+#: one queued distribution event: (family bits, "add"/"delete", route, hint)
+_Event = Tuple[int, str, Any, bool]
+
+#: send_segment(family, op, routes, batching, on_reply) — build and
+#: transmit one singular or vectorized FIB XRL for a same-op run.
+SendSegment = Callable[[int, str, List[Any], bool, Callable], None]
+
+#: poll_status(on_reply) — transmit one ``get_queue_status`` XRL.
+PollStatus = Callable[[Callable], None]
+
+
+class FeaFlowController:
+    """Watermarked, congestion-paced pump for the RIB→FEA route stream."""
+
+    def __init__(self, loop, *, send_segment: SendSegment,
+                 poll_status: PollStatus,
+                 batch_limit: Callable[[], int],
+                 window: int = 512,
+                 high_watermark: int = 1024, low_watermark: int = 256,
+                 poll_interval: float = 0.05):
+        if low_watermark > high_watermark:
+            raise ValueError("low_watermark must be <= high_watermark")
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be > 0")
+        self.loop = loop
+        self.window = window
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.poll_interval = poll_interval
+        self._send_segment = send_segment
+        self._poll_status = poll_status
+        self._batch_limit = batch_limit
+        self._queue: Deque[_Event] = deque()
+        self._inflight = 0
+        self._paused = False
+        self._poll_scheduled = False
+        self._pumping = False
+        self.shed_total = 0
+        self.polls_sent = 0
+        self.peak_depth = 0
+
+    # -- observability -------------------------------------------------------
+    def register_metrics(self, metrics) -> None:
+        metrics.gauge("flow.queue", lambda: len(self._queue))
+        metrics.gauge("flow.inflight", lambda: self._inflight)
+        metrics.gauge("flow.paused", lambda: self._paused)
+        metrics.gauge("flow.shed", lambda: self.shed_total)
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue and self._inflight == 0
+
+    # -- intake ---------------------------------------------------------------
+    def submit(self, family: int, op: str, route: Any,
+               batching: bool = False) -> None:
+        self._queue.append((family, op, route, batching))
+        self._after_intake()
+
+    def submit_batch(self, family: int, op: str, routes: List[Any]) -> None:
+        for route in routes:
+            self._queue.append((family, op, route, True))
+        self._after_intake()
+
+    def _after_intake(self) -> None:
+        if len(self._queue) > self.high_watermark:
+            self._shed()
+        if len(self._queue) > self.peak_depth:
+            self.peak_depth = len(self._queue)
+        self.pump()
+
+    def _shed(self) -> None:
+        """Drop events superseded by a newer same-prefix event behind them.
+
+        Keeps exactly the newest queued event per (family, prefix), in
+        order — the final FIB state is unchanged because FIB operations
+        are idempotent and last-writer-wins per prefix.
+        """
+        newest = {}
+        for index, event in enumerate(self._queue):
+            newest[(event[0], str(event[2].net))] = index
+        kept = [event for index, event in enumerate(self._queue)
+                if newest[(event[0], str(event[2].net))] == index]
+        self.shed_total += len(self._queue) - len(kept)
+        self._queue = deque(kept)
+
+    def reset(self) -> None:
+        """Drop the backlog and unpause (a reborn FEA starts empty; the
+        full-table resync that follows supersedes everything queued)."""
+        self._queue.clear()
+        self._paused = False
+
+    # -- the pump ---------------------------------------------------------------
+    def pump(self) -> None:
+        if self._pumping:
+            return  # a reply handler re-entered while we were draining
+        self._pumping = True
+        try:
+            while (self._queue and not self._paused
+                    and self._inflight < self.window):
+                # A segment never exceeds the *remaining* window: one
+                # oversized vectorized XRL would otherwise land more
+                # un-acked ops on the FEA than the window promises.
+                limit = max(1, min(int(self._batch_limit()),
+                                   self.window - self._inflight))
+                family, op = self._queue[0][0], self._queue[0][1]
+                routes: List[Any] = []
+                hint = self._queue[0][3]
+                while (self._queue and len(routes) < limit
+                        and self._queue[0][0] == family
+                        and self._queue[0][1] == op):
+                    routes.append(self._queue.popleft()[2])
+                self._inflight += len(routes)
+                count = len(routes)
+                self._send_segment(
+                    family, op, routes, hint,
+                    lambda error, args, count=count:
+                        self._on_reply(count, error, args))
+        finally:
+            self._pumping = False
+
+    # -- the pressure signal -------------------------------------------------
+    def _on_reply(self, count: int, error, args) -> None:
+        self._inflight -= count
+        self._handle_status(error, args)
+        self.pump()
+
+    def _handle_status(self, error, args) -> None:
+        congested = self._read_congested(error, args)
+        if congested is None:
+            return
+        if congested and not self._paused:
+            self._paused = True
+            self._schedule_poll()
+        elif not congested and self._paused:
+            self._paused = False
+
+    @staticmethod
+    def _read_congested(error, args):
+        if error is not None and not error.is_okay:
+            return None
+        if args is None:
+            return None
+        try:
+            return args.get_bool("congested")
+        except (KeyError, ValueError):
+            return None
+
+    def _schedule_poll(self) -> None:
+        if self._poll_scheduled:
+            return
+        self._poll_scheduled = True
+        self.loop.call_later(self.poll_interval, self._poll,
+                             name="fea-flow-poll")
+
+    def _poll(self) -> None:
+        self._poll_scheduled = False
+        if not self._paused:
+            return
+        self.polls_sent += 1
+        self._poll_status(self._on_poll_reply)
+
+    def _on_poll_reply(self, error, args) -> None:
+        self._handle_status(error, args)
+        if self._paused:
+            self._schedule_poll()
+        else:
+            self.pump()

@@ -423,6 +423,67 @@ class TestStageMessageChecker:
 
 
 # ---------------------------------------------------------------------------
+# Backend construction discipline
+# ---------------------------------------------------------------------------
+
+class TestBackendDiscipline:
+    def test_direct_backend_construction_bkd001(self):
+        source = (
+            "from repro.fea.backends import NetlinkFibBackend\n"
+            "def build():\n"
+            "    return NetlinkFibBackend(queue_capacity=16)\n"
+        )
+        findings = analyze_source(source, logical=("fea", "fea.py"))
+        assert rules_of(findings) == ["BKD001"]
+        assert findings[0].line == 3
+        assert "make_backend" in findings[0].message
+
+    def test_make_backend_clean(self):
+        source = (
+            "from repro.fea.backends import make_backend\n"
+            "def build(name, options):\n"
+            "    return make_backend(name, **options)\n"
+        )
+        assert analyze_source(source, logical=("fea", "fea.py")) == []
+
+    def test_local_fibbackend_subclass_caught(self):
+        # A subclass defined outside backends/ is still a backend: its
+        # construction must go through the registry too.
+        source = (
+            "from repro.fea.backends.base import FibBackend\n"
+            "class SneakyBackend(FibBackend):\n"
+            "    pass\n"
+            "def build():\n"
+            "    return SneakyBackend()\n"
+        )
+        findings = analyze_source(source, logical=("fea", "fea.py"))
+        assert rules_of(findings) == ["BKD001"]
+        assert findings[0].line == 5
+
+    def test_backends_package_itself_exempt(self):
+        source = (
+            "class TrieFibBackend:\n"
+            "    pass\n"
+            "BACKENDS = {'trie': TrieFibBackend}\n"
+            "def make_backend(name):\n"
+            "    return BACKENDS[name]()\n"
+            "probe = TrieFibBackend()\n"
+        )
+        assert analyze_source(
+            source, logical=("fea", "backends", "__init__.py")) == []
+
+    def test_other_packages_out_of_scope(self):
+        # The rule scopes to the FEA: harnesses and tests build concrete
+        # backends on purpose.
+        source = (
+            "from repro.fea.backends import TrieFibBackend\n"
+            "probe = TrieFibBackend()\n"
+        )
+        assert analyze_source(
+            source, logical=("experiments", "resilience.py")) == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 

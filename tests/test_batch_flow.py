@@ -429,9 +429,10 @@ class TestVectorizedFeaDistribution:
     PROFILE_POINTS = ("route_queued_fea", "route_sent_fea",
                       "route_arrive_fea", "route_kernel")
 
-    def _run(self, batched, route_count=40, batch_limit=None):
+    def _run(self, batched, route_count=40, batch_limit=None, family=32):
         from repro.core.process import Host
         from repro.fea import FeaProcess
+        from repro.net import IPv6
         from repro.rib import RibProcess
 
         loop = EventLoop(SystemClock())
@@ -444,22 +445,32 @@ class TestVectorizedFeaDistribution:
             rib.profiler.enable(name)
         for name in ("route_arrive_fea", "route_kernel"):
             fea.profiler.enable(name)
-        origin = rib.v4.origin("static")
-        routes = [
-            RibRoute(IPNet(IPv4(0x0A000000 + (i << 8)), 24),
-                     IPv4("10.0.0.1"), 1, "static", ifname="eth0")
-            for i in range(route_count)
-        ]
+        if family == 32:
+            origin = rib.v4.origin("static")
+            fea_fib = fea.fib4
+            routes = [
+                RibRoute(IPNet(IPv4(0x0A000000 + (i << 8)), 24),
+                         IPv4("10.0.0.1"), 1, "static", ifname="eth0")
+                for i in range(route_count)
+            ]
+        else:
+            origin = rib.v6.origin("static")
+            fea_fib = fea.fib6
+            routes = [
+                RibRoute(IPNet.parse(f"2001:db8:{i:x}::/48"),
+                         IPv6("2001:db8::1"), 1, "static", ifname="eth0")
+                for i in range(route_count)
+            ]
         if batched:
             origin.originate_batch(routes)
         else:
             for route in routes:
                 origin.originate(route)
         assert loop.run_until(
-            lambda: len(fea.fib4) == route_count and rib.txq.idle,
+            lambda: len(fea_fib) == route_count and rib.txq.idle,
             timeout=30.0)
         fib = sorted((str(n), str(e.nexthop), e.ifname)
-                     for n, e in fea.fib4.entries())
+                     for n, e in fea_fib.entries())
         nets = [route.net for route in routes]
         if batched:
             origin.withdraw_batch(nets)
@@ -467,7 +478,7 @@ class TestVectorizedFeaDistribution:
             for n in nets:
                 origin.withdraw(n)
         assert loop.run_until(
-            lambda: len(fea.fib4) == 0 and rib.txq.idle, timeout=30.0)
+            lambda: len(fea_fib) == 0 and rib.txq.idle, timeout=30.0)
         streams = {}
         for name in ("route_queued_fea", "route_sent_fea"):
             streams[name] = [data for __, data in
@@ -495,6 +506,22 @@ class TestVectorizedFeaDistribution:
         __, __, xrls = self._run(batched=True, route_count=20,
                                  batch_limit=8)
         # 20 adds -> segments of 8+8+4, 20 deletes likewise.
+        assert xrls == 6
+
+    def test_v6_batched_equals_singular(self):
+        """The v6 vectorized path has full parity: same FIB, same
+        profiling streams, same 40x coalescing as v4."""
+        fib_b, streams_b, xrls_b = self._run(batched=True, family=128)
+        fib_s, streams_s, xrls_s = self._run(batched=False, family=128)
+        assert fib_b == fib_s
+        for name in self.PROFILE_POINTS:
+            assert streams_b[name] == streams_s[name], name
+        assert xrls_s == 80
+        assert xrls_b == 2
+
+    def test_v6_segments_respect_batch_limit(self):
+        __, __, xrls = self._run(batched=True, route_count=20,
+                                 batch_limit=8, family=128)
         assert xrls == 6
 
     def test_single_route_batch_falls_back_to_singular_xrl(self):

@@ -89,12 +89,11 @@ class TestObsCli:
         """Sever the FEA's FIB insertion: traced routes then never produce
         a fib span (OBS001) and fea.fib4.routes stays zero (OBS002)."""
         tree = copy_tree(tmp_path)
-        fea = tree / "fea" / "fea.py"
-        text = fea.read_text()
-        assert text.count("self.fib4.insert(") == 2
-        text = text.replace("self.fib4.insert(",
-                            "(lambda *__: None)(")
-        fea.write_text(text)
+        driver = tree / "fea" / "driver.py"
+        text = driver.read_text()
+        assert text.count("].insert(entry)") == 1
+        text = text.replace("].insert(entry)", "].exact(entry.net)")
+        driver.write_text(text)
         result = run_cli("repro.obs", "--routes", "2",
                          pythonpath=tmp_path)
         assert result.returncode != 0, result.stdout + result.stderr

@@ -145,6 +145,72 @@ class TestXrlTransportRobustness:
         assert error.is_okay
 
 
+@pytest.mark.chaos
+class TestDataplaneCrashRecovery:
+    """Kill the FEA's dataplane backend under live route flow: lookups
+    keep answering from the shadow table, and the reattach edge
+    reconciles the backend back to shadow equality."""
+
+    def test_backend_kill_serve_from_shadow_reconcile_on_reattach(self):
+        from repro.fea import FeaProcess
+        from repro.rib import RibProcess
+
+        host = Host()
+        fea = FeaProcess(host, backend="netlink")
+        rib = RibProcess(host)
+        for i in range(8):
+            rib.xrl_add_route4("static", IPNet.parse(f"10.9.{i}.0/24"),
+                               IPv4("192.168.0.1"), 1, [])
+        assert host.loop.run_until(
+            lambda: fea.driver.settled and len(fea.backend.dump(32)) == 8,
+            timeout=30)
+        assert fea.xrl_get_backend_status()["state"] == "synced"
+
+        fea.backend.crash()
+        # Graceful degradation: the shadow keeps answering lookups and
+        # the supervisor-visible status says why writes are deferred.
+        status = fea.xrl_get_backend_status()
+        assert status == {"backend": "netlink", "healthy": False,
+                          "state": "stale"}
+        looked_up = fea.xrl_lookup_entry4(IPv4("10.9.3.7"))
+        assert looked_up["nexthop"] == IPv4("192.168.0.1")
+        # Route churn while down lands in the shadow only.
+        rib.xrl_add_route4("static", IPNet.parse("10.77.0.0/16"),
+                           IPv4("192.168.0.1"), 1, [])
+        rib.xrl_delete_route4("static", IPNet.parse("10.9.0.0/24"))
+        host.loop.run(duration=1.0)
+        assert fea.backend.dump(32) == []
+
+        fea.backend.restart()  # the up edge triggers reconciliation
+        assert host.loop.run_until(
+            lambda: fea.driver.settled
+            and set(fea.backend.dump(32))
+            == {entry for __, entry in fea.fib4.entries()},
+            timeout=30)
+        assert len(fea.backend.dump(32)) == 8  # 8 - 1 deleted + 1 added
+        assert fea.xrl_get_backend_status()["state"] == "synced"
+        assert fea.metrics.get("fea.backend.reconcile.runs").value == 1
+
+    def test_recovery_is_deterministic(self):
+        from repro.fea import FeaProcess
+        from repro.rib import RibProcess
+
+        def run():
+            host = Host()
+            fea = FeaProcess(host, backend="netlink")
+            rib = RibProcess(host)
+            for i in range(4):
+                rib.xrl_add_route4("static", IPNet.parse(f"10.8.{i}.0/24"),
+                                   IPv4("192.168.0.1"), 1, [])
+            host.loop.run_until(lambda: fea.driver.settled, timeout=30)
+            fea.backend.crash()
+            fea.backend.restart()
+            host.loop.run_until(lambda: fea.driver.settled, timeout=30)
+            return sorted(str(e.net) for e in fea.backend.dump(32))
+
+        assert run() == run()
+
+
 class TestIpv6Paths:
     def test_rib_v6_route_to_fib(self):
         from repro.fea import FeaProcess
