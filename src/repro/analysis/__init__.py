@@ -36,20 +36,57 @@ run over the tree:
     paper's §4 stale-callback discipline already practised by
     ``txqueue``/``kill.py``.
 
-Findings are suppressed per line with ``# repro: allow[RULE] reason``.
-The suite runs as a pytest gate (``tests/test_analysis.py``) so drift
-fails the build the way XORP's xrlc did.
+On top of the per-module checkers, one **interprocedural** pass runs
+over the whole tree at once:
+
+``protocol-graph`` (PRO001–PRO006)
+    :mod:`repro.analysis.protograph` attributes every XRL send site and
+    every ``bind()`` registration to its owning process package and joins
+    them through the IDL catalogue into the whole-system process
+    interaction graph — the static twin of the paper's Figure 2.  On that
+    graph it reports sends nobody handles (PRO001), synchronous request
+    cycles that deadlock once processes become OS subprocesses (PRO002),
+    reply atoms read but never produced (PRO003), dead handlers
+    (PRO004, warning), coexisting interface versions (PRO005, warning)
+    and unconsumed reply atoms (PRO006, info).  ``python -m
+    repro.analysis --graph-out g.json --graph-dot g.dot`` exports the
+    graph itself (byte-stable JSON / Graphviz), and
+    :mod:`repro.sanitizer.protocheck` asserts at runtime that every
+    traced XRL edge is a subset of this static graph.
+
+Findings are suppressed per line with ``# repro: allow[RULE] reason``;
+suppressions that no longer suppress anything are themselves flagged
+(SUP002).  The suite runs as a pytest gate (``tests/test_analysis.py``)
+so drift fails the build the way XORP's xrlc did.
 """
 
 from repro.analysis.core import Finding, ModuleInfo, RULES, Rule
-from repro.analysis.runner import analyze_paths, analyze_source, run_checkers
+from repro.analysis.protograph import (
+    ProtocolGraph,
+    ProtocolGraphChecker,
+    build_protocol_graph,
+    check_protocol_graph,
+)
+from repro.analysis.runner import (
+    analyze_paths,
+    analyze_source,
+    analyze_sources,
+    collect_modules,
+    run_checkers,
+)
 
 __all__ = [
     "Finding",
     "ModuleInfo",
+    "ProtocolGraph",
+    "ProtocolGraphChecker",
     "RULES",
     "Rule",
     "analyze_paths",
     "analyze_source",
+    "analyze_sources",
+    "build_protocol_graph",
+    "check_protocol_graph",
+    "collect_modules",
     "run_checkers",
 ]

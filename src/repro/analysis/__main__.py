@@ -1,19 +1,30 @@
 """CLI: ``python -m repro.analysis [paths...]``.
 
-Exit status 0 when the tree is clean, 1 when any finding survives
-suppression — the same contract as XORP's build-time xrlc check, so CI
-wires this straight into the gate.
+Exit status 0 when the tree is clean, 1 when any **error**-severity
+finding survives suppression — the same contract as XORP's build-time
+xrlc check, so CI wires this straight into the gate.  Warnings (PRO004,
+PRO005) and info findings (PRO006) are reported but never gate.
+
+``--graph-out``/``--graph-dot`` additionally export the whole-system
+protocol graph (byte-stable JSON / Graphviz dot) built by
+:mod:`repro.analysis.protograph` from the same parsed modules.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
 from repro.analysis.core import RULES
 from repro.analysis.report import FORMATS, render_findings
-from repro.analysis.runner import analyze_paths
+from repro.analysis.runner import (
+    collect_modules,
+    default_project_checkers,
+    run_checkers,
+)
 
 
 def _default_root() -> Path:
@@ -26,7 +37,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Architectural lint: IDL conformance, shared-nothing "
-                    "isolation, event-loop determinism, callback safety.",
+                    "isolation, event-loop determinism, callback safety, "
+                    "whole-system protocol graph.",
     )
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files or directories to check "
@@ -35,6 +47,10 @@ def main(argv=None) -> int:
                         metavar="RULE",
                         help="only report this rule id (repeatable)")
     parser.add_argument("--format", choices=FORMATS, default="text")
+    parser.add_argument("--graph-out", type=Path, metavar="FILE",
+                        help="write the protocol graph as byte-stable JSON")
+    parser.add_argument("--graph-dot", type=Path, metavar="FILE",
+                        help="write the protocol graph as Graphviz dot")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     args = parser.parse_args(argv)
@@ -45,13 +61,45 @@ def main(argv=None) -> int:
         return 0
 
     paths = args.paths or [_default_root()]
-    findings = analyze_paths(paths, rules=args.rules)
-    rendered = render_findings(findings, args.format)
-    if rendered:
-        print(rendered)
+    stats: dict = {}
+    modules, errors = collect_modules(paths, stats=stats)
+    started = time.perf_counter()  # repro: allow[DET001] tooling timing
+    findings = errors + run_checkers(
+        modules, rules=args.rules,
+        project_checkers=default_project_checkers())
+    stats["check_seconds"] = stats.get("check_seconds", 0.0) \
+        + (time.perf_counter() - started)  # repro: allow[DET001] tooling timing
+
+    if args.graph_out or args.graph_dot:
+        from repro.analysis.protograph import build_protocol_graph
+
+        graph = build_protocol_graph(modules)
+        if args.graph_out:
+            args.graph_out.write_text(graph.to_json(), encoding="utf-8")
+        if args.graph_dot:
+            args.graph_dot.write_text(graph.to_dot(), encoding="utf-8")
+
+    if args.format == "json":
+        payload = {
+            "findings": [finding.__dict__ for finding in findings],
+            "timing": {
+                "files": stats.get("files", 0),
+                "parsed": stats.get("parsed", 0),
+                "parse_cached": stats.get("parse_cached", 0),
+                "parse_seconds": round(stats.get("parse_seconds", 0.0), 6),
+                "check_seconds": round(stats.get("check_seconds", 0.0), 6),
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rendered = render_findings(findings, args.format)
+        if rendered:
+            print(rendered)
+    error_count = sum(1 for f in findings if f.severity == "error")
     if findings and args.format == "text":
-        print(f"{len(findings)} finding(s)", file=sys.stderr)
-    return 1 if findings else 0
+        print(f"{len(findings)} finding(s), {error_count} error(s)",
+              file=sys.stderr)
+    return 1 if error_count else 0
 
 
 if __name__ == "__main__":

@@ -61,6 +61,21 @@ RULES: Dict[str, Rule] = {
         Rule("BKD001", "FEA code constructs a FIB backend class directly "
                        "instead of selecting it through make_backend()",
              "§3"),
+        # Whole-system protocol graph rules (repro.analysis.protograph):
+        # interprocedural, computed over every send and bind site at once.
+        Rule("PRO001", "XRL sent to an interface/method no process ever "
+                       "binds — unresolvable at runtime", "§6.1"),
+        Rule("PRO002", "synchronous XRL request closes an inter-process "
+                       "request cycle — a deadlock once each process is a "
+                       "real OS subprocess", "§4"),
+        Rule("PRO003", "caller reads a reply atom the handler's IDL reply "
+                       "spec never produces", "§6.1"),
+        Rule("PRO004", "handler bound but no process ever sends it that "
+                       "XRL (dead protocol surface; warning)", "§6.1"),
+        Rule("PRO005", "multiple versions of one interface are live "
+                       "simultaneously (warning)", "§6.2"),
+        Rule("PRO006", "declared reply atom that no caller anywhere reads "
+                       "(info twin of PRO003)", "§6.1"),
         # Runtime rules: emitted by repro.sanitizer, never by the static
         # checkers.  They live in the same catalogue so reports, formats
         # and suppressions share one namespace.
@@ -93,9 +108,16 @@ RULES: Dict[str, Rule] = {
         Rule("OBS003", "span timestamps decrease along a causal path "
                        "(runtime observability)", "§8"),
         Rule("SUP001", "suppression names an unknown rule id", "tooling"),
+        Rule("SUP002", "suppression comment suppresses nothing on this "
+                       "tree (rotted allow[])", "tooling"),
         Rule("GEN001", "file does not parse as Python", "tooling"),
     ]
 }
+
+
+#: finding severities, most serious first.  Only ``error`` findings fail
+#: the CLI gate; ``warning``/``info`` surface in reports and annotations.
+SEVERITIES = ("error", "warning", "info")
 
 
 @dataclass(frozen=True)
@@ -106,16 +128,27 @@ class Finding:
     line: int
     rule: str
     message: str
+    severity: str = "error"
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+        tag = "" if self.severity == "error" else f" [{self.severity}]"
+        return f"{self.path}:{self.line}: {self.rule}{tag} {self.message}"
 
 
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
 
 
-def scan_suppressions(source: str) -> Dict[int, Set[str]]:
-    """Per-line rule suppressions from ``# repro: allow[RULE,...]``.
+@dataclass(frozen=True)
+class AllowComment:
+    """One ``# repro: allow[...]`` comment and the lines it covers."""
+
+    line: int
+    rules: Tuple[str, ...]
+    covers: Tuple[int, ...]
+
+
+def scan_allow_comments(source: str) -> List["AllowComment"]:
+    """Every ``# repro: allow[RULE,...]`` comment token in *source*.
 
     Only real comment tokens count (the syntax being *mentioned* in a
     docstring must not suppress anything).  A trailing comment covers its
@@ -126,23 +159,35 @@ def scan_suppressions(source: str) -> Dict[int, Set[str]]:
     import io
     import tokenize
 
-    table: Dict[int, Set[str]] = {}
+    comments: List[AllowComment] = []
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError):
-        return table
+        return comments
     for token in tokens:
         if token.type != tokenize.COMMENT:
             continue
         match = _ALLOW_RE.search(token.string)
         if not match:
             continue
-        rules = {part.strip() for part in match.group(1).split(",")
-                 if part.strip()}
+        rules = tuple(sorted({part.strip()
+                              for part in match.group(1).split(",")
+                              if part.strip()}))
         lineno = token.start[0]
-        table.setdefault(lineno, set()).update(rules)
+        covers = [lineno]
         if token.line[:token.start[1]].strip() == "":
-            table.setdefault(lineno + 1, set()).update(rules)
+            covers.append(lineno + 1)
+        comments.append(AllowComment(line=lineno, rules=rules,
+                                     covers=tuple(covers)))
+    return comments
+
+
+def scan_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Per-line rule suppressions, built from :func:`scan_allow_comments`."""
+    table: Dict[int, Set[str]] = {}
+    for comment in scan_allow_comments(source):
+        for lineno in comment.covers:
+            table.setdefault(lineno, set()).update(comment.rules)
     return table
 
 
@@ -158,6 +203,7 @@ class ModuleInfo:
     source: str
     tree: ast.Module
     suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    allow_comments: List[AllowComment] = field(default_factory=list)
 
     @property
     def package(self) -> str:
@@ -172,8 +218,13 @@ class ModuleInfo:
         if logical is None:
             logical = logical_parts(path)
         tree = ast.parse(source, filename=str(path))
+        comments = scan_allow_comments(source)
+        table: Dict[int, Set[str]] = {}
+        for comment in comments:
+            for lineno in comment.covers:
+                table.setdefault(lineno, set()).update(comment.rules)
         return cls(path=path, logical=logical, source=source, tree=tree,
-                   suppressions=scan_suppressions(source))
+                   suppressions=table, allow_comments=comments)
 
 
 def logical_parts(path: Path) -> Tuple[str, ...]:
@@ -194,6 +245,22 @@ class Checker:
 
     def check(self, module: ModuleInfo, project: "ProjectIndex"
               ) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ProjectChecker:
+    """A whole-project pass: sees every module at once.
+
+    Per-module :class:`Checker`\\ s stay O(file); anything interprocedural
+    (the protocol graph) implements this interface instead and is run by
+    the runner after per-module checks, over the same parsed modules.
+    """
+
+    name = "project-checker"
+    rules: Sequence[str] = ()
+
+    def check_project(self, modules: Sequence[ModuleInfo],
+                      project: "ProjectIndex") -> Iterable[Finding]:
         raise NotImplementedError
 
 

@@ -5,21 +5,37 @@ repro.analysis`` CLI and the pytest gate in ``tests/test_analysis.py``.
 Suppressions (``# repro: allow[RULE] reason``) are applied here, after
 all checkers ran, so a checker never needs to know about them; unknown
 rule ids inside a suppression are themselves reported (SUP001) so typos
-cannot silently disable enforcement.
+cannot silently disable enforcement, and suppressions that suppressed
+nothing are reported (SUP002) so stale allows cannot rot silently.
+
+Parsing happens once per file per process: every checker — and the
+interprocedural protocol-graph pass — shares one :class:`ModuleInfo`
+per file, memoised across runs keyed on ``(mtime_ns, size)``.  The wall
+time spent parsing vs checking (and the cache hit count) is recorded
+into the *stats* dict the CLI surfaces under ``--format json``.
 """
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.core import (
     Checker,
     Finding,
     ModuleInfo,
+    ProjectChecker,
     ProjectIndex,
     RULES,
 )
+
+#: path -> ((mtime_ns, size), ModuleInfo): the single-parse AST cache.
+_MODULE_CACHE: Dict[str, Tuple[Tuple[int, int], ModuleInfo]] = {}
+
+
+def clear_module_cache() -> None:
+    _MODULE_CACHE.clear()
 
 
 def default_checkers() -> List[Checker]:
@@ -40,9 +56,21 @@ def default_checkers() -> List[Checker]:
     ]
 
 
-def collect_modules(paths: Sequence[Path]) -> Tuple[List[ModuleInfo],
-                                                    List[Finding]]:
-    """Load every ``.py`` file under *paths*; syntax errors become findings."""
+def default_project_checkers() -> List[ProjectChecker]:
+    from repro.analysis.protograph import ProtocolGraphChecker
+
+    return [ProtocolGraphChecker()]
+
+
+def collect_modules(paths: Sequence[Path],
+                    stats: Optional[dict] = None) -> Tuple[List[ModuleInfo],
+                                                           List[Finding]]:
+    """Load every ``.py`` file under *paths*; syntax errors become findings.
+
+    Each file is parsed at most once per process: re-runs (a second CLI
+    invocation in one process, every pytest gate after the first) reuse
+    the cached :class:`ModuleInfo` unless the file changed on disk.
+    """
     modules: List[ModuleInfo] = []
     errors: List[Finding] = []
     files: List[Path] = []
@@ -52,19 +80,50 @@ def collect_modules(paths: Sequence[Path]) -> Tuple[List[ModuleInfo],
             files.extend(sorted(path.rglob("*.py")))
         else:
             files.append(path)
+    parsed = cached = 0
+    parse_seconds = 0.0
     for file_path in files:
-        source = file_path.read_text(encoding="utf-8")
+        key = str(file_path)
         try:
-            modules.append(ModuleInfo.from_source(source, file_path))
+            stat = file_path.stat()
+            signature: Optional[Tuple[int, int]] = (stat.st_mtime_ns,
+                                                    stat.st_size)
+        except OSError:
+            signature = None
+        entry = _MODULE_CACHE.get(key)
+        if signature is not None and entry is not None \
+                and entry[0] == signature:
+            modules.append(entry[1])
+            cached += 1
+            continue
+        source = file_path.read_text(encoding="utf-8")
+        started = time.perf_counter()  # repro: allow[DET001] tooling timing
+        try:
+            module = ModuleInfo.from_source(source, file_path)
         except SyntaxError as exc:
             errors.append(Finding(str(file_path), exc.lineno or 1, "GEN001",
                                   f"syntax error: {exc.msg}"))
+            continue
+        finally:
+            parse_seconds += time.perf_counter() - started  # repro: allow[DET001] tooling timing
+        parsed += 1
+        modules.append(module)
+        if signature is not None:
+            _MODULE_CACHE[key] = (signature, module)
+    if stats is not None:
+        stats["files"] = stats.get("files", 0) + len(files)
+        stats["parsed"] = stats.get("parsed", 0) + parsed
+        stats["parse_cached"] = stats.get("parse_cached", 0) + cached
+        stats["parse_seconds"] = stats.get("parse_seconds", 0.0) \
+            + parse_seconds
     return modules, errors
 
 
 def run_checkers(modules: Sequence[ModuleInfo],
                  checkers: Optional[Sequence[Checker]] = None,
-                 rules: Optional[Iterable[str]] = None) -> List[Finding]:
+                 rules: Optional[Iterable[str]] = None,
+                 project_checkers: Sequence[ProjectChecker] = (),
+                 ) -> List[Finding]:
     """Run *checkers* over prepared modules; apply suppressions."""
     if checkers is None:
         checkers = default_checkers()
@@ -78,10 +137,17 @@ def run_checkers(modules: Sequence[ModuleInfo],
                 if wanted is not None and finding.rule not in wanted:
                     continue
                 findings.append(finding)
+    for project_checker in project_checkers:
+        for finding in project_checker.check_project(modules, project):
+            if wanted is not None and finding.rule not in wanted:
+                continue
+            findings.append(finding)
     kept: List[Finding] = []
+    used_suppressions: set = set()
     for finding in findings:
         module = module_by_path.get(finding.path)
         if module is not None and module.suppressed(finding.line, finding.rule):
+            used_suppressions.add((finding.path, finding.line, finding.rule))
             continue
         kept.append(finding)
     for module in modules:
@@ -91,15 +157,46 @@ def run_checkers(modules: Sequence[ModuleInfo],
                     kept.append(Finding(
                         str(module.path), line, "SUP001",
                         f"suppression names unknown rule {rule_id!r}"))
+    if wanted is None:
+        # Only meaningful on full-rule runs: under a --rule filter the
+        # discarded findings would make every other allow[] look unused.
+        for module in modules:
+            path = str(module.path)
+            for comment in module.allow_comments:
+                for rule_id in comment.rules:
+                    if rule_id not in RULES:
+                        continue           # SUP001 already reported it
+                    if any((path, line, rule_id) in used_suppressions
+                           for line in comment.covers):
+                        continue
+                    kept.append(Finding(
+                        path, comment.line, "SUP002",
+                        f"allow[{rule_id}] suppresses nothing here — "
+                        f"remove the stale suppression"))
+    # SUP001/SUP002 appear once per distinct comment even when a line is
+    # covered twice (own line + comment-above), hence the dedup.
+    kept = list(dict.fromkeys(kept))
     kept.sort(key=lambda f: (f.path, f.line, f.rule))
     return kept
 
 
 def analyze_paths(paths: Sequence[Path],
-                  rules: Optional[Iterable[str]] = None) -> List[Finding]:
-    """Full run: load sources under *paths*, check, suppress, sort."""
-    modules, errors = collect_modules(paths)
-    return errors + run_checkers(modules, rules=rules)
+                  rules: Optional[Iterable[str]] = None,
+                  stats: Optional[dict] = None) -> List[Finding]:
+    """Full run: load sources under *paths*, check, suppress, sort.
+
+    Whole-tree runs include the interprocedural protocol-graph pass
+    (PRO rules); :func:`analyze_source` does not, because a lone fixture
+    snippet is not a closed system.
+    """
+    modules, errors = collect_modules(paths, stats=stats)
+    started = time.perf_counter()  # repro: allow[DET001] tooling timing
+    findings = run_checkers(modules, rules=rules,
+                            project_checkers=default_project_checkers())
+    if stats is not None:
+        stats["check_seconds"] = stats.get("check_seconds", 0.0) \
+            + (time.perf_counter() - started)  # repro: allow[DET001] tooling timing
+    return errors + findings
 
 
 def analyze_source(source: str, *, logical: Tuple[str, ...],
@@ -108,3 +205,18 @@ def analyze_source(source: str, *, logical: Tuple[str, ...],
     """Check one in-memory snippet (the test-fixture entry point)."""
     module = ModuleInfo.from_source(source, Path(path), logical=logical)
     return run_checkers([module], rules=rules)
+
+
+def analyze_sources(sources: Dict[str, str],
+                    rules: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Check a dict of ``{"pkg/mod.py": source}`` as one closed system.
+
+    Unlike :func:`analyze_source` this runs the protocol-graph pass too,
+    so tests can exercise PRO rules on small multi-module fixtures.
+    """
+    modules = [
+        ModuleInfo.from_source(source, Path(f"repro/{relpath}"))
+        for relpath, source in sorted(sources.items())
+    ]
+    return run_checkers(modules, rules=rules,
+                        project_checkers=default_project_checkers())

@@ -231,14 +231,14 @@ class XrlConformanceChecker(Checker):
     def _check_bind(self, path: str, call: ast.Call, fn: Optional[ast.AST],
                     cls: Optional[ast.ClassDef], project: ProjectIndex,
                     module: ModuleInfo) -> Iterator[Finding]:
-        if not (isinstance(call.func, ast.Attribute)
-                and call.func.attr == "bind"):
+        bind_attr = resolve_bind_attr(call, fn)
+        if bind_attr is None:
             return
         iface_node: Optional[ast.AST] = None
         iface_index = -1
-        receiver_name = _is_idl_name(call.func.value)
+        receiver_name = _is_idl_name(bind_attr.value)
         if receiver_name is not None:
-            iface_node = call.func.value
+            iface_node = bind_attr.value
         else:
             for index, arg in enumerate(call.args):
                 if _is_idl_name(arg) is not None or _is_interface_call(arg):
@@ -447,6 +447,25 @@ class XrlConformanceChecker(Checker):
 def _is_interface_call(node: ast.AST) -> bool:
     return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
             and node.func.id == "interface")
+
+
+def resolve_bind_attr(call: ast.Call,
+                      fn: Optional[ast.AST]) -> Optional[ast.Attribute]:
+    """The ``<router>.bind`` attribute a call registers through, else None.
+
+    Covers the direct form (``router.bind(...)``, ``IDL.bind(router, ...)``,
+    helper wrappers like ``XorpProcess.bind``) and one level of local
+    aliasing — ``register = router.bind; register(IDL, self)`` — so the
+    bind inventory stays complete when code names the bound method first.
+    """
+    if isinstance(call.func, ast.Attribute) and call.func.attr == "bind":
+        return call.func
+    if isinstance(call.func, ast.Name) and fn is not None:
+        assign = closest_assignment(fn, call.func.id, call.lineno)
+        if assign is not None and isinstance(assign.value, ast.Attribute) \
+                and assign.value.attr == "bind":
+            return assign.value
+    return None
 
 
 def _handler_signature_problem(handler: ast.FunctionDef,

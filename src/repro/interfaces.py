@@ -265,6 +265,38 @@ def describe_catalogue() -> Dict[str, Dict[str, Dict[str, Tuple[Tuple[str, str],
     return {name: iface.describe() for name, iface in _CATALOGUE.items()}
 
 
+def request_spec(fullname: str, method: str) -> Tuple[Tuple[str, str], ...]:
+    """``((atom, idl-type), ...)`` a caller must send for *method*.
+
+    Raises ``KeyError`` for unknown interfaces or methods — tooling that
+    wants a soft miss should pre-check with :func:`catalogue`.
+    """
+    return tuple(_CATALOGUE[fullname].methods[method].signature[0])
+
+
+def reply_spec(fullname: str, method: str) -> Tuple[Tuple[str, str], ...]:
+    """``((atom, idl-type), ...)`` the handler's reply carries for *method*.
+
+    This is what the protocol-graph conformance pass (PRO003/PRO006 in
+    ``repro.analysis.protograph``) checks caller-side reads against.
+    """
+    return tuple(_CATALOGUE[fullname].methods[method].signature[1])
+
+
+def reply_atom_types(fullname: str, method: str) -> Dict[str, str]:
+    """Reply atoms of *method* as ``{atom-name: idl-type}``."""
+    return dict(reply_spec(fullname, method))
+
+
+def versions_by_name() -> Dict[str, Tuple[str, ...]]:
+    """Interface name -> every version the catalogue declares, sorted."""
+    grouped: Dict[str, list] = {}
+    for iface in _CATALOGUE.values():
+        grouped.setdefault(iface.name, []).append(iface.version)
+    return {name: tuple(sorted(versions))
+            for name, versions in grouped.items()}
+
+
 RIB_IDL = interface("rib/1.0")
 RIB_CLIENT_IDL = interface("rib_client/0.1")
 REDIST4_IDL = interface("redist4/0.1")

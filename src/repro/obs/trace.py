@@ -166,6 +166,10 @@ class Tracer:
     def by_id(self, trace_id: int) -> Optional[TraceContext]:
         return self._traces.get(trace_id)
 
+    def contexts(self) -> List[TraceContext]:
+        """Every trace context, ordered by trace id (stable)."""
+        return [self._traces[tid] for tid in sorted(self._traces)]
+
     # -- span recording ----------------------------------------------------
     def _record(self, ctx: TraceContext, kind: str, site: str, op: str,
                 parent: Optional[int]) -> Span:

@@ -8,7 +8,10 @@ catalogue in :mod:`repro.analysis.core`:
 * :mod:`repro.sanitizer.xrlsan` — IDL conformance at the XRL dispatch
   boundary (SAN101–103);
 * :mod:`repro.sanitizer.schedule` — deterministic exploration of
-  same-deadline event orderings, reporting state divergence (RACE001).
+  same-deadline event orderings, reporting state divergence (RACE001);
+* :mod:`repro.sanitizer.protocheck` — dynamic/static agreement: every
+  XRL edge observed by the :mod:`repro.obs` tracer must be explained by
+  the static protocol graph from :mod:`repro.analysis.protograph`.
 
 ``python -m repro.sanitizer`` runs the explorer (with the runtime
 sanitizers armed) over registered scenarios; the ``runtime_sanitizers``
@@ -16,6 +19,11 @@ pytest fixture in ``tests/conftest.py`` arms the first two pieces
 inside ordinary integration tests.
 """
 
+from repro.sanitizer.protocheck import (
+    runtime_xrl_edges,
+    site_package,
+    unexplained_edges,
+)
 from repro.sanitizer.report import Violation, ViolationLog
 from repro.sanitizer.runtime import RuntimeSanitizer
 from repro.sanitizer.schedule import (
@@ -35,4 +43,7 @@ __all__ = [
     "ViolationLog",
     "XrlDispatchSanitizer",
     "explore",
+    "runtime_xrl_edges",
+    "site_package",
+    "unexplained_edges",
 ]

@@ -1,0 +1,113 @@
+"""Dynamic/static agreement: observed XRL edges ⊆ the protocol graph.
+
+The static pass (:mod:`repro.analysis.protograph`) claims to know every
+inter-process XRL edge the system can take.  This module checks that
+claim against reality: every ``xrl-send``/``xrl-recv`` span pair the
+:mod:`repro.obs` tracer recorded at runtime must be explained by the
+static graph — either by a resolved static edge, or by a declared
+*dynamic* send site (the CLI's ``call <xrl>`` facility, which can emit
+anything at runtime and is recorded as a wildcard for its package).
+
+A runtime edge that no static edge or dynamic site explains means the
+static analysis has a blind spot — exactly the regression this check is
+wired into the integration tests to catch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+#: runtime router-class spellings that differ from their package name
+DEFAULT_SITE_ALIASES = {
+    "static_routes": "staticroutes",
+}
+
+#: (sender site, receiver site, method) — one observed XRL hop
+RuntimeEdge = Tuple[str, str, str]
+
+
+def runtime_xrl_edges(tracer) -> Set[RuntimeEdge]:
+    """Every observed XRL hop: (send-site, recv-site, method).
+
+    An ``xrl-recv`` span's parent is the ``xrl-send`` span that carried
+    the frame (stitched across processes via the reserved ``trace_ctx``
+    atom), so pairing each recv with its parent reconstructs the edge.
+    """
+    edges: Set[RuntimeEdge] = set()
+    for ctx in tracer.contexts():
+        by_id = {span.span_id: span for span in ctx.spans}
+        for span in ctx.spans:
+            if span.kind != "xrl-recv" or span.parent_id is None:
+                continue
+            parent = by_id.get(span.parent_id)
+            if parent is None or parent.kind != "xrl-send":
+                continue
+            edges.add((parent.site, span.site, span.op))
+    return edges
+
+
+def site_package(site: str, packages: Dict[str, dict],
+                 site_map: Optional[Dict[str, str]] = None) -> Optional[str]:
+    """Map a runtime span site (router class name) to a graph package.
+
+    Router class names usually equal their package (``bgp`` → bgp);
+    numbered instances (``bgp2``) strip trailing digits, and known
+    aliases (``static_routes`` → staticroutes) are applied.  Returns
+    None when the site maps to no package in the graph.
+    """
+    if site_map and site in site_map:
+        return site_map[site]
+    candidates = [site, site.rstrip("0123456789") or site]
+    candidates += [DEFAULT_SITE_ALIASES.get(c, c) for c in list(candidates)]
+    for candidate in candidates:
+        if candidate in packages:
+            return candidate
+    return None
+
+
+def _graph_data(graph) -> dict:
+    return graph.to_json_dict() if hasattr(graph, "to_json_dict") else graph
+
+
+def unexplained_edges(tracer, graph,
+                      site_map: Optional[Dict[str, str]] = None
+                      ) -> List[str]:
+    """Runtime edges the static protocol graph cannot explain.
+
+    Returns human-readable problem strings (empty list = full dynamic ⊆
+    static agreement).  *graph* is a
+    :class:`~repro.analysis.protograph.ProtocolGraph` or its JSON dict.
+    """
+    data = _graph_data(graph)
+    packages: Dict[str, dict] = data["packages"]
+    shared = {name for name, info in packages.items()
+              if info["kind"] == "shared"}
+    dynamic_senders = set(data.get("dynamic_senders", {}))
+    static_edges = data["edges"]
+    problems: List[str] = []
+    for send_site, recv_site, method in sorted(runtime_xrl_edges(tracer)):
+        label = f"{send_site} -> {recv_site} ({method})"
+        src = site_package(send_site, packages, site_map)
+        dst = site_package(recv_site, packages, site_map)
+        if src is None:
+            problems.append(f"{label}: sender site {send_site!r} maps to "
+                            f"no package in the static graph")
+            continue
+        if dst is None:
+            problems.append(f"{label}: receiver site {recv_site!r} maps to "
+                            f"no package in the static graph")
+            continue
+        explained = any(
+            edge["from"] == src and method in edge["methods"]
+            and (edge["to"] == dst or edge["to"] in shared)
+            for edge in static_edges
+        )
+        # A package with a dynamic send site (the CLI's textual call_xrl)
+        # can legitimately emit XRLs the static pass could not resolve.
+        if not explained and src in dynamic_senders:
+            explained = True
+        if not explained:
+            problems.append(
+                f"{label}: no static edge {src} -> {dst} carries "
+                f"{method!r} and {src!r} has no dynamic send site")
+    return problems

@@ -1,13 +1,17 @@
 """Tests for the architectural lint suite (:mod:`repro.analysis`).
 
-Three layers:
+Four layers:
 
 * fixture snippets — one known-good and one known-bad case per checker,
-  run through :func:`analyze_source` with an explicit logical location;
+  run through :func:`analyze_source` (per-module rules) or
+  :func:`analyze_sources` (multi-module protocol-graph rules);
 * mutation tests mirroring the acceptance criteria — a misspelled XRL
-  method and an inserted ``time.sleep()`` against copies of the *real*
-  source tree must each yield exactly one finding;
-* the CI gate — the shipped ``src/repro`` tree analyses clean.
+  method, an inserted ``time.sleep()``, a deleted ``bind()``, a
+  synchronous back-call, and a renamed reply atom against copies of the
+  *real* source tree must each be caught by exactly its intended rule;
+* the protocol graph itself — byte-stable export, correct edges;
+* the CI gate — the shipped ``src/repro`` tree has zero error-severity
+  findings (PRO004/PRO005 warnings and PRO006 info are allowed).
 """
 
 import shutil
@@ -15,10 +19,15 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
-
-from repro.analysis import analyze_paths, analyze_source
+from repro.analysis import (
+    analyze_paths,
+    analyze_source,
+    analyze_sources,
+    build_protocol_graph,
+    collect_modules,
+)
 from repro.analysis.core import RULES, scan_suppressions
+from repro.analysis.runner import clear_module_cache
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_REPRO = REPO_ROOT / "src" / "repro"
@@ -26,6 +35,10 @@ SRC_REPRO = REPO_ROOT / "src" / "repro"
 
 def rules_of(findings):
     return [f.rule for f in findings]
+
+
+def errors_of(findings):
+    return [f.rule for f in findings if f.severity == "error"]
 
 
 # ---------------------------------------------------------------------------
@@ -172,6 +185,26 @@ class TestXrlConformance:
             "?protocol:txt=rip')\n"
         )
         assert analyze_source(source, logical=("rtrmgr", "template.py")) == []
+
+    def test_aliased_bind_still_checked(self):
+        # `register = xrl.bind; register(...)` is the same registration —
+        # one level of local aliasing must not hide a missing handler.
+        source = (
+            "from repro.interfaces import COMMON_IDL\n"
+            "class P:\n"
+            "    def __init__(self, xrl):\n"
+            "        register = xrl.bind\n"
+            "        register(COMMON_IDL, self)\n"
+            "    def xrl_get_target_name(self):\n"
+            "        return 'p'\n"
+            "    def xrl_get_version(self):\n"
+            "        return '1'\n"
+            "    def xrl_get_status(self):\n"
+            "        return 'READY'\n"
+        )
+        findings = analyze_source(source, logical=("rip", "process.py"))
+        assert rules_of(findings) == ["XRL004"]
+        assert "shutdown" in findings[0].message
 
 
 # ---------------------------------------------------------------------------
@@ -506,13 +539,44 @@ class TestSuppressions:
         assert analyze_source(source, logical=("bgp", "process.py")) == []
 
     def test_allow_is_rule_specific(self):
+        # The wrong-rule allow[] leaves DET002 standing AND is itself
+        # flagged as a rotted suppression (SUP002).
         source = (
             "import time\n"
             "def wait():\n"
             "    time.sleep(1.0)  # repro: allow[DET001] wrong rule\n"
         )
         findings = analyze_source(source, logical=("bgp", "process.py"))
-        assert rules_of(findings) == ["DET002"]
+        assert rules_of(findings) == ["DET002", "SUP002"]
+
+    def test_unused_allow_sup002(self):
+        source = (
+            "def quiet():\n"
+            "    return 1  # repro: allow[DET002] nothing sleeps here\n"
+        )
+        findings = analyze_source(source, logical=("bgp", "process.py"))
+        assert rules_of(findings) == ["SUP002"]
+        assert findings[0].line == 2
+        assert "DET002" in findings[0].message
+
+    def test_used_allow_is_not_sup002(self):
+        source = (
+            "import time\n"
+            "def wait():\n"
+            "    time.sleep(1.0)  # repro: allow[DET002] test fixture\n"
+        )
+        assert analyze_source(source, logical=("bgp", "process.py")) == []
+
+    def test_sup002_silent_under_rule_filter(self):
+        # Under --rule the discarded findings would make every other
+        # allow[] look unused, so SUP002 only runs on full-rule passes.
+        source = (
+            "def quiet():\n"
+            "    return 1  # repro: allow[DET002] nothing sleeps here\n"
+        )
+        findings = analyze_source(source, logical=("bgp", "process.py"),
+                                  rules=["DET001"])
+        assert findings == []
 
     def test_unknown_rule_sup001(self):
         source = "x = 1  # repro: allow[BOGUS9]\n"
@@ -545,9 +609,13 @@ def copy_tree(tmp_path: Path) -> Path:
 
 
 class TestTreeGate:
-    def test_shipped_tree_is_clean(self):
+    def test_shipped_tree_has_no_errors(self):
         findings = analyze_paths([SRC_REPRO])
-        assert findings == [], "\n".join(f.render() for f in findings)
+        errors = [f for f in findings if f.severity == "error"]
+        assert errors == [], "\n".join(f.render() for f in errors)
+        # warnings/info are allowed on the shipped tree, but only the
+        # dead-surface and unread-reply rules should produce any
+        assert {f.rule for f in findings} <= {"PRO004", "PRO005", "PRO006"}
 
     def test_cli_exits_zero_on_clean_tree(self):
         result = subprocess.run(
@@ -567,8 +635,9 @@ class TestTreeGate:
             if '"add_entry4"' in line)
         rib.write_text(text.replace('"add_entry4"', '"add_entyr4"', 1))
         findings = analyze_paths([tree])
-        assert len(findings) == 1
-        finding = findings[0]
+        errors = [f for f in findings if f.severity == "error"]
+        assert len(errors) == 1
+        finding = errors[0]
         assert finding.rule == "XRL002"
         assert finding.path.endswith("rib/rib.py")
         assert finding.line == mutated_line
@@ -583,8 +652,9 @@ class TestTreeGate:
         lines.insert(anchor, "        import time; time.sleep(0.1)\n")
         bgp.write_text("".join(lines))
         findings = analyze_paths([tree])
-        assert len(findings) == 1
-        finding = findings[0]
+        errors = [f for f in findings if f.severity == "error"]
+        assert len(errors) == 1
+        finding = errors[0]
         assert finding.rule == "DET002"
         assert finding.path.endswith("bgp/process.py")
         assert finding.line == anchor + 1
@@ -593,6 +663,180 @@ class TestTreeGate:
         for rule_id, rule in RULES.items():
             assert rule.summary, rule_id
             assert rule_id == rule.id
+
+
+# ---------------------------------------------------------------------------
+# The whole-system protocol graph (PRO001–PRO006)
+# ---------------------------------------------------------------------------
+
+class TestProtographMutations:
+    """Each seeded mutation must be caught by exactly its intended rule."""
+
+    def test_deleted_bind_pro001(self, tmp_path):
+        tree = copy_tree(tmp_path)
+        rib = tree / "rib" / "rib.py"
+        text = rib.read_text()
+        assert "self.xrl.bind(RIB_IDL, self)" in text
+        rib.write_text("\n".join(
+            line for line in text.splitlines()
+            if "self.xrl.bind(RIB_IDL, self)" not in line) + "\n")
+        findings = analyze_paths([tree])
+        errors = [f for f in findings if f.severity == "error"]
+        assert errors, "deleting the RIB bind must break resolution"
+        assert {f.rule for f in errors} == {"PRO001"}
+        assert any("rib/1.0" in f.message for f in errors)
+
+    def test_sync_back_call_pro002(self, tmp_path):
+        # rib -> fea is an existing async edge; a synchronous FEA -> rib
+        # call closes an inter-process request cycle — the deadlock the
+        # multi-process split (ROADMAP item 2) cannot tolerate.
+        tree = copy_tree(tmp_path)
+        fea = tree / "fea" / "fea.py"
+        fea.write_text(fea.read_text() + (
+            "\n\n"
+            "class _RouteConfirmer:\n"
+            "    def __init__(self, xrl):\n"
+            "        self.xrl = xrl\n"
+            "\n"
+            "    def confirm(self, addr):\n"
+            "        return self.xrl.send_sync(\n"
+            '            Xrl("rib", "rib", "1.0", "lookup_route_by_dest4",\n'
+            '                XrlArgs().add_ipv4("addr", addr)),\n'
+            "            deadline=5)\n"
+        ))
+        findings = analyze_paths([tree])
+        errors = [f for f in findings if f.severity == "error"]
+        assert len(errors) == 1
+        assert errors[0].rule == "PRO002"
+        assert "fea -> rib" in errors[0].message
+        assert "cycle" in errors[0].message
+
+    def test_renamed_reply_atom_pro003(self, tmp_path):
+        tree = copy_tree(tmp_path)
+        supervisor = tree / "rtrmgr" / "supervisor.py"
+        text = supervisor.read_text()
+        assert 'get_txt("status")' in text
+        supervisor.write_text(
+            text.replace('get_txt("status")', 'get_txt("statuz")', 1))
+        findings = analyze_paths([tree])
+        errors = [f for f in findings if f.severity == "error"]
+        assert len(errors) == 1
+        assert errors[0].rule == "PRO003"
+        assert "'statuz'" in errors[0].message
+        assert errors[0].path.endswith("rtrmgr/supervisor.py")
+
+
+class TestProtographFixtures:
+    """Small closed-system fixtures through :func:`analyze_sources`."""
+
+    BINDER = (
+        "from repro.interfaces import COMMON_IDL\n"
+        "class P:\n"
+        "    def __init__(self, xrl):\n"
+        "        xrl.bind(COMMON_IDL, self)\n"
+        "    def xrl_get_target_name(self):\n"
+        "        return 'p'\n"
+        "    def xrl_get_version(self):\n"
+        "        return '1'\n"
+        "    def xrl_get_status(self):\n"
+        "        return 'READY'\n"
+        "    def xrl_shutdown(self):\n"
+        "        pass\n"
+    )
+
+    def test_send_without_any_bind_pro001(self):
+        sender = (
+            "from repro.xrl import XrlArgs\n"
+            "from repro.xrl.xrl import Xrl\n"
+            "def go(router):\n"
+            "    args = XrlArgs().add_txt('protocol', 'rip')\n"
+            "    router.send(Xrl('rib', 'rib', '1.0', 'add_igp_table4',"
+            " args))\n"
+        )
+        findings = analyze_sources({"bgp/feed.py": sender})
+        assert errors_of(findings) == ["PRO001"]
+
+    def test_send_with_bind_resolves(self):
+        sender = (
+            "from repro.xrl.xrl import Xrl\n"
+            "def go(router):\n"
+            "    router.send(Xrl('p', 'common', '0.1', 'get_status'))\n"
+        )
+        findings = analyze_sources({"bgp/probe.py": sender,
+                                    "rib/p.py": self.BINDER})
+        assert errors_of(findings) == []
+
+    def test_dead_handlers_pro004_warning(self):
+        findings = analyze_sources({"rib/p.py": self.BINDER})
+        assert errors_of(findings) == []
+        dead = [f for f in findings if f.rule == "PRO004"]
+        assert len(dead) == 4          # all four common/0.1 methods
+        assert all(f.severity == "warning" for f in dead)
+
+    def test_mixed_versions_pro005_warning(self):
+        sender = (
+            "from repro.xrl.xrl import Xrl\n"
+            "def go(router):\n"
+            "    router.send(Xrl('rib', 'rib', '1.0', 'add_igp_table4'))\n"
+            "    router.send(Xrl('rib', 'rib', '2.0', 'add_igp_table4'))\n"
+        )
+        findings = analyze_sources({"bgp/feed.py": sender},
+                                   rules=["PRO005"])
+        assert rules_of(findings) == ["PRO005"]
+        assert "1.0" in findings[0].message
+        assert "2.0" in findings[0].message
+
+
+class TestProtographGraph:
+    def test_graph_json_is_byte_stable(self):
+        modules, errors = collect_modules([SRC_REPRO])
+        assert errors == []
+        first = build_protocol_graph(modules).to_json()
+        second = build_protocol_graph(modules).to_json()
+        assert first == second
+
+    def test_graph_has_expected_edges(self):
+        modules, _errors = collect_modules([SRC_REPRO])
+        graph = build_protocol_graph(modules)
+        pairs = {(e.src, e.dst) for e in graph.edges.values()}
+        assert ("bgp", "rib") in pairs      # BGP feeds the RIB
+        assert ("rib", "fea") in pairs      # RIB pushes the FIB
+        assert ("rib", "bgp") in pairs      # redistribution back-channel
+        sync_pairs = {(e.src, e.dst) for e in graph.edges.values() if e.sync}
+        assert ("rtrmgr", "rib") in sync_pairs   # rtrmgr configures sync
+
+    def test_dot_export_mentions_every_package_on_an_edge(self):
+        modules, _errors = collect_modules([SRC_REPRO])
+        graph = build_protocol_graph(modules)
+        dot = graph.to_dot()
+        for edge in graph.edges.values():
+            assert f'"{edge.src}"' in dot
+            assert f'"{edge.dst}"' in dot
+
+
+class TestAstCache:
+    def test_second_pass_is_fully_cached(self, tmp_path):
+        tree = copy_tree(tmp_path)
+        clear_module_cache()
+        cold: dict = {}
+        analyze_paths([tree], stats=cold)
+        warm: dict = {}
+        analyze_paths([tree], stats=warm)
+        assert cold["parsed"] == cold["files"] > 0
+        assert cold["parse_cached"] == 0
+        assert warm["parse_cached"] == warm["files"]
+        assert warm["parsed"] == 0
+
+    def test_cache_invalidated_on_edit(self, tmp_path):
+        tree = copy_tree(tmp_path)
+        clear_module_cache()
+        analyze_paths([tree])
+        target = tree / "bgp" / "process.py"
+        target.write_text(target.read_text() + "\n# touched\n")
+        stats: dict = {}
+        analyze_paths([tree], stats=stats)
+        assert stats["parsed"] == 1
+        assert stats["parse_cached"] == stats["files"] - 1
 
 
 class TestReportFormats:

@@ -50,6 +50,51 @@ class TestAnalysisCli:
         assert result.returncode == 1, result.stdout + result.stderr
         assert "DET002" in result.stdout
 
+    def test_warnings_do_not_gate(self):
+        # The shipped tree carries PRO004/PRO006 warnings & info — they
+        # must be reported without flipping the exit code.
+        result = run_cli("repro.analysis", str(SRC_REPRO))
+        assert result.returncode == 0
+        assert "PRO004" in result.stdout
+        assert "[warning]" in result.stdout
+        assert "0 error(s)" in result.stderr
+
+    def test_deleted_bind_exits_nonzero(self, tmp_path):
+        tree = copy_tree(tmp_path)
+        rib = tree / "rib" / "rib.py"
+        text = rib.read_text()
+        rib.write_text("\n".join(
+            line for line in text.splitlines()
+            if "self.xrl.bind(RIB_IDL, self)" not in line) + "\n")
+        result = run_cli("repro.analysis", str(tree))
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "PRO001" in result.stdout
+
+    def test_graph_out_is_byte_stable(self, tmp_path):
+        first, second = tmp_path / "g1.json", tmp_path / "g2.json"
+        dot = tmp_path / "g.dot"
+        for out in (first, second):
+            result = run_cli("repro.analysis", str(SRC_REPRO),
+                             "--graph-out", str(out),
+                             "--graph-dot", str(dot))
+            assert result.returncode == 0, result.stdout + result.stderr
+        assert first.read_bytes() == second.read_bytes()
+        graph = json.loads(first.read_text())
+        assert graph["schema"] == "repro.protograph/1"
+        assert graph["edges"], "the shipped tree must have XRL edges"
+        assert dot.read_text().startswith("digraph")
+
+    def test_json_format_reports_timing(self):
+        result = run_cli("repro.analysis", str(SRC_REPRO),
+                         "--format", "json")
+        assert result.returncode == 0, result.stdout + result.stderr
+        payload = json.loads(result.stdout)
+        timing = payload["timing"]
+        assert timing["files"] > 0
+        assert timing["parsed"] + timing["parse_cached"] == timing["files"]
+        assert timing["parse_seconds"] >= 0.0
+        assert timing["check_seconds"] >= 0.0
+
 
 class TestSanitizerCli:
     ARGS = ("--scenario", "routeflow", "--seeds", "2", "--routes", "6")

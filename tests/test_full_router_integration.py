@@ -1,8 +1,11 @@
 """Whole-router integration: Router-Manager-driven routers running BGP,
 OSPF and static routes concurrently over the simulated network."""
 
+from pathlib import Path
+
 import pytest
 
+from repro.analysis import build_protocol_graph, collect_modules
 from repro.bgp import BgpState
 from repro.bgp.attributes import ASPath, Origin, PathAttributeList
 from repro.bgp.process import LOCAL_PEER_ID
@@ -10,7 +13,22 @@ from repro.bgp.route import BGPRoute
 from repro.net import IPNet, IPv4
 from repro.obs import Observability
 from repro.rtrmgr import Cli, RouterManager
+from repro.sanitizer import runtime_xrl_edges, unexplained_edges
 from repro.simnet import SimNetwork
+
+SRC_REPRO = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+_PROTOCOL_GRAPH = None
+
+
+def protocol_graph():
+    """The static protocol graph of the shipped tree, built once."""
+    global _PROTOCOL_GRAPH
+    if _PROTOCOL_GRAPH is None:
+        modules, errors = collect_modules([SRC_REPRO])
+        assert errors == []
+        _PROTOCOL_GRAPH = build_protocol_graph(modules)
+    return _PROTOCOL_GRAPH
 
 # Arm the runtime sanitizers (stage-graph consistency + XRL
 # dispatch conformance) for every test in this module; the
@@ -225,6 +243,31 @@ class TestTracedRouteFlow:
 
         obs, ctx = self._traced_flow(two_managed_routers, prefix, originate)
         self._assert_causal_tree(obs, ctx)
+
+    def test_runtime_edges_subset_of_static_graph(self,
+                                                  two_managed_routers):
+        """Dynamic/static agreement: every XRL edge the tracer observed
+        must be explained by the static protocol graph (ISSUE tentpole
+        acceptance).  A runtime edge the graph cannot explain means the
+        interprocedural analysis has a blind spot."""
+        cli1, cli2 = establish_bgp_pair(two_managed_routers)
+        prefix = net("97.0.0.0/8")
+
+        def originate(prefix):
+            out = cli1.execute(
+                'call "finder://bgp/bgp/1.0/originate_route4'
+                f'?net:ipv4net={prefix}&next_hop:ipv4=10.0.0.1'
+                '&unicast:bool=true"')
+            assert not out.startswith("error"), out
+
+        obs, _ctx = self._traced_flow(two_managed_routers, prefix, originate)
+        observed = runtime_xrl_edges(obs.tracer)
+        assert observed, "the traced flow must cross XRL boundaries"
+        pairs = {(send, recv) for send, recv, _method in observed}
+        assert ("bgp", "rib") in pairs       # BGP pushed the route down
+        assert ("rib", "fea") in pairs       # RIB transferred it to the FIB
+        problems = unexplained_edges(obs.tracer, protocol_graph())
+        assert problems == [], "\n".join(problems)
 
     def test_traced_route_batched_matches_unbatched(self,
                                                     two_managed_routers):
