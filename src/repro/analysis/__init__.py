@@ -54,6 +54,22 @@ over the whole tree at once:
     :mod:`repro.sanitizer.protocheck` asserts at runtime that every
     traced XRL edge is a subset of this static graph.
 
+``hotpath`` (HOT001–HOT006)
+    :mod:`repro.analysis.hotpath` derives the **hot-path function set**
+    interprocedurally — everything reachable from the batched stage
+    entry points (``add_routes``/``delete_routes`` and friends), the
+    XRL dispatch surface and the FIB backends' ``apply`` — and runs
+    allocation/complexity cost rules only on that set: singular calls
+    where a batch API exists (HOT001), per-route dict/list/``XrlArgs``
+    construction (HOT002), un-slotted hot allocations (HOT003,
+    warning), re-resolved attribute chains (HOT004, warning), eager
+    log formatting (HOT005, warning) and quadratic nested scans
+    (HOT006).  ``python -m repro.analysis --hot-report h.json
+    --hot-dot h.dot`` exports the hot set itself (byte-stable JSON /
+    Graphviz), and a sampling profiler
+    (:mod:`repro.analysis.profile`) validates the derivation against
+    the measured fig13 runtime hot set.
+
 Findings are suppressed per line with ``# repro: allow[RULE] reason``;
 suppressions that no longer suppress anything are themselves flagged
 (SUP002).  The suite runs as a pytest gate (``tests/test_analysis.py``)
@@ -61,6 +77,12 @@ so drift fails the build the way XORP's xrlc did.
 """
 
 from repro.analysis.core import Finding, ModuleInfo, RULES, Rule
+from repro.analysis.hotpath import (
+    HotPathChecker,
+    HotPathGraph,
+    build_hotpath,
+    check_hotpath,
+)
 from repro.analysis.protograph import (
     ProtocolGraph,
     ProtocolGraphChecker,
@@ -77,6 +99,8 @@ from repro.analysis.runner import (
 
 __all__ = [
     "Finding",
+    "HotPathChecker",
+    "HotPathGraph",
     "ModuleInfo",
     "ProtocolGraph",
     "ProtocolGraphChecker",
@@ -85,7 +109,9 @@ __all__ = [
     "analyze_paths",
     "analyze_source",
     "analyze_sources",
+    "build_hotpath",
     "build_protocol_graph",
+    "check_hotpath",
     "check_protocol_graph",
     "collect_modules",
     "run_checkers",

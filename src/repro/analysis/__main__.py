@@ -7,7 +7,10 @@ PRO005) and info findings (PRO006) are reported but never gate.
 
 ``--graph-out``/``--graph-dot`` additionally export the whole-system
 protocol graph (byte-stable JSON / Graphviz dot) built by
-:mod:`repro.analysis.protograph` from the same parsed modules.
+:mod:`repro.analysis.protograph` from the same parsed modules;
+``--hot-report``/``--hot-dot`` do the same for the hot-path function
+set and its per-function static cost annotations
+(:mod:`repro.analysis.hotpath`, schema ``repro.hotpath/1``).
 """
 
 from __future__ import annotations
@@ -51,6 +54,11 @@ def main(argv=None) -> int:
                         help="write the protocol graph as byte-stable JSON")
     parser.add_argument("--graph-dot", type=Path, metavar="FILE",
                         help="write the protocol graph as Graphviz dot")
+    parser.add_argument("--hot-report", type=Path, metavar="FILE",
+                        help="write the hot-path set + static cost "
+                             "annotations as byte-stable JSON")
+    parser.add_argument("--hot-dot", type=Path, metavar="FILE",
+                        help="write the hot-path call graph as Graphviz dot")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     args = parser.parse_args(argv)
@@ -66,7 +74,7 @@ def main(argv=None) -> int:
     started = time.perf_counter()  # repro: allow[DET001] tooling timing
     findings = errors + run_checkers(
         modules, rules=args.rules,
-        project_checkers=default_project_checkers())
+        project_checkers=default_project_checkers(), stats=stats)
     stats["check_seconds"] = stats.get("check_seconds", 0.0) \
         + (time.perf_counter() - started)  # repro: allow[DET001] tooling timing
 
@@ -79,6 +87,15 @@ def main(argv=None) -> int:
         if args.graph_dot:
             args.graph_dot.write_text(graph.to_dot(), encoding="utf-8")
 
+    if args.hot_report or args.hot_dot:
+        from repro.analysis.hotpath import build_hotpath
+
+        hot_graph = build_hotpath(modules)
+        if args.hot_report:
+            args.hot_report.write_text(hot_graph.to_json(), encoding="utf-8")
+        if args.hot_dot:
+            args.hot_dot.write_text(hot_graph.to_dot(), encoding="utf-8")
+
     if args.format == "json":
         payload = {
             "findings": [finding.__dict__ for finding in findings],
@@ -86,6 +103,7 @@ def main(argv=None) -> int:
                 "files": stats.get("files", 0),
                 "parsed": stats.get("parsed", 0),
                 "parse_cached": stats.get("parse_cached", 0),
+                "check_cached": stats.get("check_cached", 0),
                 "parse_seconds": round(stats.get("parse_seconds", 0.0), 6),
                 "check_seconds": round(stats.get("check_seconds", 0.0), 6),
             },

@@ -76,6 +76,20 @@ RULES: Dict[str, Rule] = {
                        "simultaneously (warning)", "§6.2"),
         Rule("PRO006", "declared reply atom that no caller anywhere reads "
                        "(info twin of PRO003)", "§6.1"),
+        # Hot-path cost rules (repro.analysis.hotpath): interprocedural,
+        # run only over the derived hot-path function set.
+        Rule("HOT001", "singular call inside a loop where a batched API "
+                       "exists (per-route add_route vs add_routes)", "§5"),
+        Rule("HOT002", "per-item dict/list/XrlArgs construction inside a "
+                       "per-route batch loop", "§6.1"),
+        Rule("HOT003", "class instantiated on the hot path without "
+                       "__slots__ (warning)", "§5"),
+        Rule("HOT004", "attribute chain re-resolved >=2 deep inside a loop "
+                       "body (warning)", "§5"),
+        Rule("HOT005", "eagerly formatted string passed to logging/trace "
+                       "emission on the hot path (warning)", "§8"),
+        Rule("HOT006", "nested table/batch iteration inside per-route "
+                       "processing (quadratic batch handling)", "§5"),
         # Runtime rules: emitted by repro.sanitizer, never by the static
         # checkers.  They live in the same catalogue so reports, formats
         # and suppressions share one namespace.

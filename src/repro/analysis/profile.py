@@ -1,0 +1,116 @@
+"""Sampling profiler: the runtime ground truth for the hot-path set.
+
+:mod:`repro.analysis.hotpath` *derives* the hot set statically; this
+module *measures* it.  A daemon thread samples the target thread's stack
+via ``sys._current_frames()`` at a fixed interval while the fig13 route
+flow runs, recording each stack as ``(co_filename, co_qualname)``
+frames.  The agreement test in ``benchmarks/test_fig13_route_flow.py``
+then asserts that >=80% of samples that land in repro code are covered
+by the static hot set — protocheck's static/dynamic contract, applied to
+performance instead of protocol conformance.
+
+The sampler never touches the code under test: no tracing hooks, no
+instrumentation, no per-call overhead — only a second thread reading
+frames.  That keeps the measured hot set honest.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import List, Optional, Tuple
+
+#: one recorded stack: outermost-last tuples of (filename, qualname)
+Stack = Tuple[Tuple[str, str], ...]
+
+
+def _qualname_of(code) -> str:
+    # co_qualname is 3.11+; older interpreters fall back to the bare
+    # name, which only loses nesting precision, not coverage.
+    return getattr(code, "co_qualname", code.co_name)
+
+
+class SamplingProfiler:
+    """Sample one thread's Python stack from a daemon thread."""
+
+    def __init__(self, interval: float = 0.001,
+                 target_thread_id: Optional[int] = None):
+        self.interval = interval
+        self.target_thread_id = target_thread_id
+        self.samples: List[Stack] = []
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self.target_thread_id is None:
+            self.target_thread_id = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="hotpath-sampler")
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        target = self.target_thread_id
+        samples = self.samples
+        interval = self.interval
+        stop = self._stop
+        while not stop.is_set():
+            frames = sys._current_frames()
+            frame = frames.get(target)
+            stack = []
+            while frame is not None:
+                code = frame.f_code
+                stack.append((code.co_filename, _qualname_of(code)))
+                frame = frame.f_back
+            if stack:
+                samples.append(tuple(stack))
+            del frames, frame
+            # The sampler thread may block: it is NOT the event loop.
+            time.sleep(interval)  # repro: allow[DET002] sampler thread
+
+
+def coverage_against(samples: List[Stack], graph) -> Tuple[int, int]:
+    """``(covered, considered)`` of *samples* against a HotPathGraph.
+
+    A sample **counts** when at least one of its frames executes inside
+    a non-exempt repro module (pure harness/interpreter stacks say
+    nothing about the router hot path).  A counted sample is **covered**
+    when any such frame's function is in the static hot set — the
+    sampled instant was inside (or beneath) a statically-hot function.
+    """
+    from repro.analysis.hotpath import EXEMPT_PACKAGES, repro_relative
+
+    covered = considered = 0
+    for stack in samples:
+        in_repro = False
+        hit = False
+        for filename, qualname in stack:
+            rel = repro_relative(filename)
+            if rel is None:
+                continue
+            package = rel.split("/", 1)[0] if "/" in rel else ""
+            if package in EXEMPT_PACKAGES:
+                continue
+            in_repro = True
+            if graph.covers_frame(filename, qualname):
+                hit = True
+                break
+        if in_repro:
+            considered += 1
+            if hit:
+                covered += 1
+    return covered, considered

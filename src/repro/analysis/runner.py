@@ -33,9 +33,26 @@ from repro.analysis.core import (
 #: path -> ((mtime_ns, size), ModuleInfo): the single-parse AST cache.
 _MODULE_CACHE: Dict[str, Tuple[Tuple[int, int], ModuleInfo]] = {}
 
+#: (path, ruleset fingerprint) -> (module, per-module findings).  The
+#: AST cache alone is rule-blind: reusing a finding list computed under
+#: one ``--rule`` selection for a different selection would serve stale
+#: results, so the fingerprint is part of the key and a hit additionally
+#: requires the *same* parsed module object (a reparse invalidates it).
+_FINDINGS_CACHE: Dict[Tuple[str, str],
+                      Tuple[ModuleInfo, List[Finding]]] = {}
+
 
 def clear_module_cache() -> None:
     _MODULE_CACHE.clear()
+    _FINDINGS_CACHE.clear()
+
+
+def ruleset_fingerprint(checkers: Sequence[Checker],
+                        wanted: Optional[Iterable[str]]) -> str:
+    """Stable identity of "which rules could this run emit"."""
+    names = ",".join(sorted(type(checker).__name__ for checker in checkers))
+    selection = "*" if wanted is None else ",".join(sorted(wanted))
+    return f"{names}|{selection}"
 
 
 def default_checkers() -> List[Checker]:
@@ -57,9 +74,10 @@ def default_checkers() -> List[Checker]:
 
 
 def default_project_checkers() -> List[ProjectChecker]:
+    from repro.analysis.hotpath import HotPathChecker
     from repro.analysis.protograph import ProtocolGraphChecker
 
-    return [ProtocolGraphChecker()]
+    return [ProtocolGraphChecker(), HotPathChecker()]
 
 
 def collect_modules(paths: Sequence[Path],
@@ -123,6 +141,7 @@ def run_checkers(modules: Sequence[ModuleInfo],
                  checkers: Optional[Sequence[Checker]] = None,
                  rules: Optional[Iterable[str]] = None,
                  project_checkers: Sequence[ProjectChecker] = (),
+                 stats: Optional[dict] = None,
                  ) -> List[Finding]:
     """Run *checkers* over prepared modules; apply suppressions."""
     if checkers is None:
@@ -131,12 +150,25 @@ def run_checkers(modules: Sequence[ModuleInfo],
     project = ProjectIndex(modules)
     findings: List[Finding] = []
     module_by_path = {str(m.path): m for m in modules}
-    for checker in checkers:
-        for module in modules:
+    fingerprint = ruleset_fingerprint(checkers, wanted)
+    check_cached = 0
+    for module in modules:
+        cache_key = (str(module.path), fingerprint)
+        entry = _FINDINGS_CACHE.get(cache_key)
+        if entry is not None and entry[0] is module:
+            findings.extend(entry[1])
+            check_cached += 1
+            continue
+        module_findings: List[Finding] = []
+        for checker in checkers:
             for finding in checker.check(module, project):
                 if wanted is not None and finding.rule not in wanted:
                     continue
-                findings.append(finding)
+                module_findings.append(finding)
+        _FINDINGS_CACHE[cache_key] = (module, module_findings)
+        findings.extend(module_findings)
+    if stats is not None:
+        stats["check_cached"] = stats.get("check_cached", 0) + check_cached
     for project_checker in project_checkers:
         for finding in project_checker.check_project(modules, project):
             if wanted is not None and finding.rule not in wanted:
@@ -192,7 +224,8 @@ def analyze_paths(paths: Sequence[Path],
     modules, errors = collect_modules(paths, stats=stats)
     started = time.perf_counter()  # repro: allow[DET001] tooling timing
     findings = run_checkers(modules, rules=rules,
-                            project_checkers=default_project_checkers())
+                            project_checkers=default_project_checkers(),
+                            stats=stats)
     if stats is not None:
         stats["check_seconds"] = stats.get("check_seconds", 0.0) \
             + (time.perf_counter() - started)  # repro: allow[DET001] tooling timing

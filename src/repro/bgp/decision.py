@@ -126,32 +126,35 @@ class DecisionStage(RouteTableStage):
         # A peering burst is mostly fresh winners: coalesce those into
         # one downstream batch; displacements flush and go out singular,
         # keeping the per-prefix event order of the singular decomposition.
-        if self.next_table is None:
+        winners = self.winners
+        winners_get = winners.get
+        next_table = self.next_table
+        if next_table is None:
             for route in routes:
                 if self._eligible(route):
                     net = route.net
-                    incumbent = self.winners.get(net)
+                    incumbent = winners_get(net)
                     if incumbent is None or self._better(route, incumbent) \
                             is route:
-                        self.winners[net] = route
+                        winners[net] = route
             return
         fresh: List[Any] = []
         for route in routes:
             if not self._eligible(route):
                 continue
             net = route.net
-            incumbent = self.winners.get(net)
+            incumbent = winners_get(net)
             if incumbent is None:
-                self.winners[net] = route
+                winners[net] = route
                 fresh.append(route)
             elif self._better(route, incumbent) is route:
                 if fresh:
-                    self.next_table.add_routes(fresh, caller=self)
+                    next_table.add_routes(fresh, caller=self)
                     fresh = []
-                self.winners[net] = route
-                self.next_table.replace_route(incumbent, route, caller=self)
+                winners[net] = route
+                next_table.replace_route(incumbent, route, caller=self)
         if fresh:
-            self.next_table.add_routes(fresh, caller=self)
+            next_table.add_routes(fresh, caller=self)
 
     def delete_route(self, route: Any, *,
                      caller: Optional[RouteTableStage] = None) -> None:
@@ -178,34 +181,37 @@ class DecisionStage(RouteTableStage):
         # Deletes of losing alternatives vanish; deleted winners without a
         # surviving alternative coalesce into one downstream batch, and
         # re-elections flush the segment and emit their replace singular.
-        if self.next_table is None:
+        winners = self.winners
+        winners_get = winners.get
+        next_table = self.next_table
+        if next_table is None:
             for route in routes:
-                if self.winners.get(route.net) is route:
+                if winners_get(route.net) is route:
                     replacement = self._elect(route.net, exclude=caller)
                     if replacement is not None:
-                        self.winners[route.net] = replacement
+                        winners[route.net] = replacement
                     else:
-                        del self.winners[route.net]
+                        del winners[route.net]
             return
         gone: List[Any] = []
         for route in routes:
             net = route.net
-            incumbent = self.winners.get(net)
+            incumbent = winners_get(net)
             if incumbent is None or incumbent is not route:
                 continue
             replacement = self._elect(net, exclude=caller)
             if replacement is not None:
                 if gone:
-                    self.next_table.delete_routes(gone, caller=self)
+                    next_table.delete_routes(gone, caller=self)
                     gone = []
-                self.winners[net] = replacement
-                self.next_table.replace_route(incumbent, replacement,
-                                              caller=self)
+                winners[net] = replacement
+                next_table.replace_route(incumbent, replacement,
+                                         caller=self)
             else:
-                del self.winners[net]
+                del winners[net]
                 gone.append(incumbent)
         if gone:
-            self.next_table.delete_routes(gone, caller=self)
+            next_table.delete_routes(gone, caller=self)
 
     def replace_route(self, old_route: Any, new_route: Any, *,
                       caller: Optional[RouteTableStage] = None) -> None:

@@ -137,8 +137,9 @@ class FanoutQueue(RouteTableStage):
 
     def add_routes(self, routes: List[Any], *,
                    caller: Optional[RouteTableStage] = None) -> None:
+        insert = self.winners.insert
         for route in routes:
-            self.winners.insert(route.net, route)
+            insert(route.net, route)
         self._enqueue_batch(ADD, routes)
 
     def delete_route(self, route: Any, *,
@@ -148,8 +149,9 @@ class FanoutQueue(RouteTableStage):
 
     def delete_routes(self, routes: List[Any], *,
                       caller: Optional[RouteTableStage] = None) -> None:
+        discard = self.winners.discard
         for route in routes:
-            self.winners.discard(route.net)
+            discard(route.net)
         self._enqueue_batch(DELETE, routes)
 
     def replace_route(self, old_route: Any, new_route: Any, *,
@@ -200,12 +202,14 @@ class FanoutQueue(RouteTableStage):
         if not self.readers:
             return
         any_dumping = any(r.dumping for r in self.readers.values())
+        append = self.queue.append
+        serial = self._next_serial
         for route in routes:
             skip = self._dump_skip_set(route.net.key()) if any_dumping \
                 else None
-            self.queue.append(
-                _QueueEntry(self._next_serial, op, route, None, skip))
-            self._next_serial += 1
+            append(_QueueEntry(serial, op, route, None, skip))
+            serial += 1
+        self._next_serial = serial
         for reader in self.readers.values():
             self._schedule_pump(reader)
 
@@ -238,8 +242,10 @@ class FanoutQueue(RouteTableStage):
             self.queue.clear()
             return
         low_water = min(r.next_serial for r in self.readers.values())
-        while self.queue and self.queue[0].serial < low_water:
-            self.queue.popleft()
+        queue = self.queue
+        popleft = queue.popleft
+        while queue and queue[0].serial < low_water:
+            popleft()
 
     # -- background dumping ----------------------------------------------------
     def _dump_slice(self, reader: Reader) -> bool:

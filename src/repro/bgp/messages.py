@@ -89,6 +89,8 @@ def _frame(message_type: MessageType, body: bytes) -> bytes:
 class OpenMessage:
     """BGP OPEN: version, AS, hold time, identifier."""
 
+    __slots__ = ("asn", "holdtime", "bgp_id", "version")
+
     message_type = MessageType.OPEN
 
     def __init__(self, asn: int, holdtime: int, bgp_id: IPv4,
@@ -134,6 +136,10 @@ class OpenMessage:
 
 class UpdateMessage:
     """BGP UPDATE: withdrawn prefixes + (attributes, NLRI prefixes)."""
+
+    # One UpdateMessage per peer per flush on the announce path: slotted
+    # so a full-table burst does not pay a __dict__ per message.
+    __slots__ = ("withdrawn", "attributes", "nlri")
 
     message_type = MessageType.UPDATE
 
@@ -203,6 +209,8 @@ class UpdateMessage:
 
 
 class NotificationMessage:
+    __slots__ = ("code", "subcode", "data")
+
     message_type = MessageType.NOTIFICATION
 
     def __init__(self, code: ErrorCode, subcode: int = 0, data: bytes = b""):
@@ -234,6 +242,8 @@ class NotificationMessage:
 
 
 class KeepaliveMessage:
+    __slots__ = ()
+
     message_type = MessageType.KEEPALIVE
 
     def encode(self) -> bytes:
@@ -284,6 +294,8 @@ def decode_message(data: bytes):
 
 class MessageReader:
     """Incremental reassembly of BGP messages from a byte stream."""
+
+    __slots__ = ("_buffer",)
 
     def __init__(self) -> None:
         self._buffer = bytearray()

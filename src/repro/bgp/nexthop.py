@@ -81,11 +81,13 @@ class NexthopCache:
     def invalidate(self, subnet: IPNet) -> List[CacheEntry]:
         """Drop entries overlapping *subnet*; return them."""
         removed = []
+        entries = self._entries
+        starts = self._starts
         index = 0
-        while index < len(self._entries):
-            if self._entries[index].subnet.overlaps(subnet):
-                removed.append(self._entries.pop(index))
-                self._starts.pop(index)
+        while index < len(entries):
+            if entries[index].subnet.overlaps(subnet):
+                removed.append(entries.pop(index))
+                starts.pop(index)
             else:
                 index += 1
         return removed
@@ -286,8 +288,10 @@ class NexthopResolverStage(RouteTableStage):
         nets = self._nexthop_index.get(nexthop)
         if not nets:
             return
+        forwarded = self.forwarded
+        next_table = self.next_table
         for net in list(nets):
-            current = self.forwarded.get(net)
+            current = forwarded.get(net)
             if current is None:
                 continue
             if (current.resolvable == resolvable
@@ -295,6 +299,6 @@ class NexthopResolverStage(RouteTableStage):
                 continue
             annotated = current.annotated(igp_metric=metric,
                                           resolvable=resolvable)
-            self.forwarded[net] = annotated
-            if self.next_table is not None:
-                self.next_table.replace_route(current, annotated, caller=self)
+            forwarded[net] = annotated
+            if next_table is not None:
+                next_table.replace_route(current, annotated, caller=self)

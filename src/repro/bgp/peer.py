@@ -266,18 +266,22 @@ class PeerHandler(FsmActions):
         downstream = self.in_filter.next_table
 
         def run_slice() -> bool:
+            deleted: list = []
+            added: list = []
+            done = False
+            new_policy = self.process.import_policy
             for __ in range(64):
                 if iterator.exhausted:
                     iterator.close()
-                    return False
+                    done = True
+                    break
                 if not iterator.valid:
                     iterator.advance()
                     continue
                 route = iterator.payload
                 iterator.advance()
                 old_out = self._import_with(route, old_policy)
-                new_out = self._import_with(route,
-                                            self.process.import_policy)
+                new_out = self._import_with(route, new_policy)
                 if downstream is None:
                     continue
                 if old_out is not None and new_out is not None:
@@ -285,10 +289,15 @@ class PeerHandler(FsmActions):
                         downstream.replace_route(old_out, new_out,
                                                  caller=self.in_filter)
                 elif old_out is not None:
-                    downstream.delete_route(old_out, caller=self.in_filter)
+                    deleted.append(old_out)
                 elif new_out is not None:
-                    downstream.add_route(new_out, caller=self.in_filter)
-            return True
+                    added.append(new_out)
+            if downstream is not None:
+                if deleted:
+                    downstream.delete_routes(deleted, caller=self.in_filter)
+                if added:
+                    downstream.add_routes(added, caller=self.in_filter)
+            return not done
 
         self.loop.spawn_task(run_slice, priority=TaskPriority.BACKGROUND,
                              name=f"refilter-{self.peer_id}")
@@ -304,18 +313,22 @@ class PeerHandler(FsmActions):
         downstream = self.out_filter.next_table
 
         def run_slice() -> bool:
+            deleted: list = []
+            added: list = []
+            done = False
+            new_policy = self.process.export_policy
             for __ in range(64):
                 if iterator.exhausted:
                     iterator.close()
-                    return False
+                    done = True
+                    break
                 if not iterator.valid:
                     iterator.advance()
                     continue
                 route = iterator.payload
                 iterator.advance()
                 old_out = self._export_with(route, old_policy)
-                new_out = self._export_with(route,
-                                            self.process.export_policy)
+                new_out = self._export_with(route, new_policy)
                 if downstream is None:
                     continue
                 if old_out is not None and new_out is not None:
@@ -323,10 +336,15 @@ class PeerHandler(FsmActions):
                         downstream.replace_route(old_out, new_out,
                                                  caller=self.out_filter)
                 elif old_out is not None:
-                    downstream.delete_route(old_out, caller=self.out_filter)
+                    deleted.append(old_out)
                 elif new_out is not None:
-                    downstream.add_route(new_out, caller=self.out_filter)
-            return True
+                    added.append(new_out)
+            if downstream is not None:
+                if deleted:
+                    downstream.delete_routes(deleted, caller=self.out_filter)
+                if added:
+                    downstream.add_routes(added, caller=self.out_filter)
+            return not done
 
         self.loop.spawn_task(run_slice, priority=TaskPriority.BACKGROUND,
                              name=f"refilter-out-{self.peer_id}")

@@ -126,11 +126,12 @@ class BgpProcess(XorpProcess):
 
     # -- RIB interaction ------------------------------------------------------
     def _register_rib_tables(self) -> None:
+        send = self.xrl.send
         for protocol in ("ebgp", "ibgp"):
             args = XrlArgs().add_txt("protocol", protocol)
-            self.xrl.send(Xrl(self.rib_target, "rib", "1.0",
-                              "add_egp_table4", args),
-                          retry=self.retry_policy)
+            send(Xrl(self.rib_target, "rib", "1.0",
+                     "add_egp_table4", args),
+                 retry=self.retry_policy)
 
     def _rib_watcher_name(self) -> str:
         return f"bgp-ribwatch:{self.xrl.instance_name}"

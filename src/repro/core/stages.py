@@ -239,22 +239,24 @@ class OriginStage(RouteTableStage):
         and then emits the singular ``replace_route``, so the downstream
         per-prefix event order is exactly the singular decomposition.
         """
-        if self.next_table is None:
+        insert = self.routes.insert
+        next_table = self.next_table
+        if next_table is None:
             for route in routes:
-                self.routes.insert(route.net, route)
+                insert(route.net, route)
             return
         fresh: List[Any] = []
         for route in routes:
-            previous = self.routes.insert(route.net, route)
+            previous = insert(route.net, route)
             if previous is not None:
                 if fresh:
-                    self.next_table.add_routes(fresh, caller=self)
+                    next_table.add_routes(fresh, caller=self)
                     fresh = []
-                self.next_table.replace_route(previous, route, caller=self)
+                next_table.replace_route(previous, route, caller=self)
             else:
                 fresh.append(route)
         if fresh:
-            self.next_table.add_routes(fresh, caller=self)
+            next_table.add_routes(fresh, caller=self)
 
     def withdraw(self, net: IPNet) -> Any:
         """Withdraw the route for *net*; returns it (KeyError if absent)."""
@@ -276,8 +278,9 @@ class OriginStage(RouteTableStage):
         ``delete_routes`` batch.
         """
         removed: List[Any] = []
+        discard = self.routes.discard
         for net in nets:
-            route = self.routes.discard(net)
+            route = discard(net)
             if route is not None:
                 removed.append(route)
         if removed and self.next_table is not None:
@@ -467,21 +470,27 @@ class DeletionStage(RouteTableStage):
 
     def _run_slice(self) -> bool:
         budget = self.slice_size
+        iterator = self._iterator
+        discard = self.pending.discard
+        deleted: List[Any] = []
+        exhausted = False
         while budget > 0:
-            if self._iterator.exhausted:
-                self._finish()
-                return False
-            if not self._iterator.valid:
-                self._iterator.advance()
+            if iterator.exhausted:
+                exhausted = True
+                break
+            if not iterator.valid:
+                iterator.advance()
                 continue
-            net = self._iterator.net
-            route = self._iterator.payload
-            self._iterator.advance()
-            self.pending.discard(net)
-            if self.next_table is not None:
-                self.next_table.delete_route(route, caller=self)
+            net = iterator.net
+            route = iterator.payload
+            iterator.advance()
+            discard(net)
+            deleted.append(route)
             budget -= 1
-        if len(self.pending) == 0 and self._iterator.exhausted:
+        # One batched downstream dispatch per slice, not one per route.
+        if deleted and self.next_table is not None:
+            self.next_table.delete_routes(deleted, caller=self)
+        if exhausted or (len(self.pending) == 0 and iterator.exhausted):
             self._finish()
             return False
         return True
@@ -512,13 +521,14 @@ class DeletionStage(RouteTableStage):
         # Per prefix the delete-before-add order is preserved; across
         # prefixes all pending deletes are grouped ahead of the adds so
         # the batch costs two downstream dispatches, not 2N.
+        discard = self.pending.discard
         if self.next_table is None:
             for route in routes:
-                self.pending.discard(route.net)
+                discard(route.net)
             return
         helds = []
         for route in routes:
-            held = self.pending.discard(route.net)
+            held = discard(route.net)
             if held is not None:
                 helds.append(held)
         if helds:

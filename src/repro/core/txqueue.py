@@ -79,20 +79,24 @@ class XrlTransmitQueue:
     def enqueue_batch(self, items) -> None:
         """Queue several ``(xrl, on_sent, on_reply)`` tuples with the batch
         hint set, draining the window in one pass."""
+        append = self._queue.append
         for xrl, on_sent, on_reply in items:
-            self._queue.append((xrl, on_sent, on_reply, True))
+            append((xrl, on_sent, on_reply, True))
         self._pump()
 
     def _pump(self) -> None:
-        while self._inflight < self._window and self._queue:
-            xrl, on_sent, on_reply, batch = self._queue.popleft()
+        queue = self._queue
+        popleft = queue.popleft
+        send = self._router.send
+        while self._inflight < self._window and queue:
+            xrl, on_sent, on_reply, batch = popleft()
             self._inflight += 1
             self.sent_count += 1
             if on_sent is not None:
                 on_sent()
-            self._router.send(xrl, self._completion(xrl, on_reply),
-                              retry=self._retry, deadline=self._deadline,
-                              batch=batch)
+            send(xrl, self._completion(xrl, on_reply),
+                 retry=self._retry, deadline=self._deadline,
+                 batch=batch)
 
     def _completion(self, xrl: Xrl, on_reply) -> Callable:
         def done(error: XrlError, args: XrlArgs) -> None:

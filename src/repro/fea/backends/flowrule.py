@@ -111,13 +111,14 @@ class FlowRuleBackend(FibBackend):
 
     def apply(self, ops: Sequence[FibOp]) -> None:
         completion = self._completion
+        rules = self._rules
         for op in ops:
             rule = entry_to_rule(op.entry)
             if op.op == ADD:
-                self._rules[self._key(rule)] = rule
+                rules[self._key(rule)] = rule
                 self.rules_installed += 1
             else:
-                if self._rules.pop(self._key(rule), None) is not None:
+                if rules.pop(self._key(rule), None) is not None:
                     self.rules_removed += 1
             if completion is not None:
                 completion(op.seq, True, "")

@@ -146,13 +146,15 @@ class NetlinkFibBackend(FibBackend):
             # The channel is gone: ops vanish, completions never come.
             self.stats.lost += len(ops)
             return
+        queue = self._queue
+        append = queue.append
         for op in ops:
-            if len(self._queue) >= self.queue_capacity:
+            if len(queue) >= self.queue_capacity:
                 # The bounded buffer is the backpressure: reject now.
                 self.stats.rejected += 1
                 self._complete(op.seq, False, "ENOBUFS")
                 continue
-            self._queue.append(op)
+            append(op)
         self._schedule_drain()
 
     def _complete(self, seq: int, ok: bool, reason: str) -> None:
@@ -176,18 +178,21 @@ class NetlinkFibBackend(FibBackend):
         self._drain_pending = False
         if generation != self._generation or self._crashed:
             return
+        popleft = self._queue.popleft
+        fault_plan = self.fault_plan
         for __ in range(min(self.ops_per_completion, len(self._queue))):
-            op = self._queue.popleft()
-            if self.fault_plan.roll_nack():
+            op = popleft()
+            if fault_plan.roll_nack():
                 self._complete(op.seq, False, "EINVAL")
                 continue
             table = self._tables[op.bits]
+            entry = op.entry
             if op.op == ADD:
-                table[op.entry.net] = op.entry
+                table[entry.net] = entry
             else:
-                table.pop(op.entry.net, None)
+                table.pop(entry.net, None)
             self.stats.applied += 1
-            if self.fault_plan.roll_drop_ack():
+            if fault_plan.roll_drop_ack():
                 self.stats.dropped_acks += 1
                 continue
             self._complete(op.seq, True, "")

@@ -240,13 +240,16 @@ class BackendDriver:
         now = self.loop.clock.now()
         expired = [p for p in self._pending.values() if p.deadline <= now]
         resubmit = []
+        c_failed = self._c_failed
+        c_ack_timeouts = self._c_ack_timeouts
+        c_retries = self._c_retries
         for pending in expired:
             del self._pending[pending.op.seq]
             if pending.attempts >= self.max_attempts:
-                self._c_failed.inc()
+                c_failed.inc()
                 continue
-            self._c_ack_timeouts.inc()
-            self._c_retries.inc()
+            c_ack_timeouts.inc()
+            c_retries.inc()
             op = pending.op
             self._seq += 1
             op.seq = self._seq
@@ -291,9 +294,10 @@ class BackendDriver:
         """
         self._c_rec_runs.inc()
         ops: List[FibOp] = []
+        dump = self.backend.dump
         for bits, fib in self.shadow.items():
             want = {entry for __, entry in fib.entries()}
-            have = set(self.backend.dump(bits))
+            have = set(dump(bits))
             for entry in sorted(want - have, key=lambda e: str(e.net)):
                 ops.append(FibOp(ADD, entry))
             for entry in sorted(have - want, key=lambda e: str(e.net)):

@@ -95,38 +95,46 @@ class FeaProcess(XorpProcess):
                 "congested": self.driver.congested}
 
     def _fib_add(self, net, nexthop, ifname) -> dict:
-        self._prof_arrive.log(f"add {net}")
+        self._prof_arrive.log_op("add", net)
         # "the FEA will unconditionally install the route in the kernel or
         # the forwarding engine." — the shadow records the intent now; the
         # driver converges the backend to it.
         self.driver.add(FibEntry(net, nexthop, ifname))
-        self._prof_kernel.log(f"add {net}")
+        self._prof_kernel.log_op("add", net)
         return self._fib_status()
 
     def _fib_delete(self, net) -> dict:
-        self._prof_arrive.log(f"delete {net}")
+        self._prof_arrive.log_op("delete", net)
         self.driver.delete(net)
-        self._prof_kernel.log(f"delete {net}")
+        self._prof_kernel.log_op("delete", net)
         return self._fib_status()
 
     def _fib_add_vector(self, nets, nexthops, ifnames) -> dict:
         entries = [FibEntry(net.value, nexthop.value, ifname.value)
                    for net, nexthop, ifname
                    in zip(nets, nexthops, ifnames)]
-        for entry in entries:
-            self._prof_arrive.log(f"add {entry.net}")
+        prof_arrive = self._prof_arrive
+        if prof_arrive.enabled:
+            for entry in entries:
+                prof_arrive.log_op("add", entry.net)
         # The vectorized segment reaches the backend as one apply() batch.
         self.driver.add_batch(entries)
-        for entry in entries:
-            self._prof_kernel.log(f"add {entry.net}")
+        prof_kernel = self._prof_kernel
+        if prof_kernel.enabled:
+            for entry in entries:
+                prof_kernel.log_op("add", entry.net)
         return self._fib_status()
 
     def _fib_delete_vector(self, nets) -> dict:
-        for net in nets:
-            self._prof_arrive.log(f"delete {net.value}")
+        prof_arrive = self._prof_arrive
+        if prof_arrive.enabled:
+            for net in nets:
+                prof_arrive.log_op("delete", net.value)
         self.driver.delete_batch([net.value for net in nets])
-        for net in nets:
-            self._prof_kernel.log(f"delete {net.value}")
+        prof_kernel = self._prof_kernel
+        if prof_kernel.enabled:
+            for net in nets:
+                prof_kernel.log_op("delete", net.value)
         return self._fib_status()
 
     def xrl_add_entry4(self, net, nexthop, ifname) -> dict:
@@ -245,9 +253,10 @@ class FeaProcess(XorpProcess):
 
     def shutdown(self) -> None:
         if self.running:
+            unwatch = self.host.finder.unwatch
+            watcher = self._socket_watcher_name()
             for creator in self._socket_creators:
-                self.host.finder.unwatch(self._socket_watcher_name(),
-                                         creator)
+                unwatch(watcher, creator)
             self.driver.close()
         super().shutdown()
 

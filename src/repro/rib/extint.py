@@ -84,20 +84,22 @@ class ExtIntStage(RouteTableStage):
         run_op: Optional[str] = None
         run: List[Any] = []
 
+        next_table = self.next_table
+
         def flush_run() -> None:
             nonlocal run_op, run
             if not run:
                 return
             if run_op == "add":
-                self.next_table.add_routes(run, caller=self)
+                next_table.add_routes(run, caller=self)
             else:
-                self.next_table.delete_routes(run, caller=self)
+                next_table.delete_routes(run, caller=self)
             run_op, run = None, []
 
         for op, route, old_route in emissions:
             if op == "replace":
                 flush_run()
-                self.next_table.replace_route(old_route, route, caller=self)
+                next_table.replace_route(old_route, route, caller=self)
                 continue
             if op != run_op:
                 flush_run()
@@ -132,8 +134,9 @@ class ExtIntStage(RouteTableStage):
             nexthop for nexthop in self._nexthop_index
             if changed_net.contains_addr(nexthop)
         ]
+        index_get = self._nexthop_index.get
         for nexthop in affected:
-            for net in list(self._nexthop_index.get(nexthop, ())):
+            for net in list(index_get(nexthop, ())):
                 self._reevaluate(net)
 
     # -- message handling (routes classify themselves via is_external) --------

@@ -98,8 +98,9 @@ class FeaFlowController:
         self._after_intake()
 
     def submit_batch(self, family: int, op: str, routes: List[Any]) -> None:
+        append = self._queue.append
         for route in routes:
-            self._queue.append((family, op, route, True))
+            append((family, op, route, True))
         self._after_intake()
 
     def _after_intake(self) -> None:
@@ -135,21 +136,23 @@ class FeaFlowController:
         if self._pumping:
             return  # a reply handler re-entered while we were draining
         self._pumping = True
+        queue = self._queue
+        popleft = queue.popleft
         try:
-            while (self._queue and not self._paused
+            while (queue and not self._paused
                     and self._inflight < self.window):
                 # A segment never exceeds the *remaining* window: one
                 # oversized vectorized XRL would otherwise land more
                 # un-acked ops on the FEA than the window promises.
                 limit = max(1, min(int(self._batch_limit()),
                                    self.window - self._inflight))
-                family, op = self._queue[0][0], self._queue[0][1]
+                family, op = queue[0][0], queue[0][1]
                 routes: List[Any] = []
-                hint = self._queue[0][3]
-                while (self._queue and len(routes) < limit
-                        and self._queue[0][0] == family
-                        and self._queue[0][1] == op):
-                    routes.append(self._queue.popleft()[2])
+                hint = queue[0][3]
+                while (queue and len(routes) < limit
+                        and queue[0][0] == family
+                        and queue[0][1] == op):
+                    routes.append(popleft()[2])
                 self._inflight += len(routes)
                 count = len(routes)
                 self._send_segment(

@@ -63,21 +63,23 @@ class MergeStage(RouteTableStage):
         # downstream batch; a route that displaces the other branch's
         # incumbent flushes the segment and emits its replace singly, so
         # per-prefix ordering matches the singular decomposition.
-        if self.next_table is None:
+        next_table = self.next_table
+        if next_table is None:
             return
         other_branch = self._other_branch(caller)
+        lookup = other_branch.lookup_route
         plain: List[Any] = []
         for route in routes:
-            other = other_branch.lookup_route(route.net, caller=self)
+            other = lookup(route.net, caller=self)
             if other is None:
                 plain.append(route)
             elif preferred(route, other) is route:
                 if plain:
-                    self.next_table.add_routes(plain, caller=self)
+                    next_table.add_routes(plain, caller=self)
                     plain = []
-                self.next_table.replace_route(other, route, caller=self)
+                next_table.replace_route(other, route, caller=self)
         if plain:
-            self.next_table.add_routes(plain, caller=self)
+            next_table.add_routes(plain, caller=self)
 
     def delete_route(self, route: Any, *,
                      caller: Optional[RouteTableStage] = None) -> None:
@@ -93,21 +95,23 @@ class MergeStage(RouteTableStage):
 
     def delete_routes(self, routes: List[Any], *,
                       caller: Optional[RouteTableStage] = None) -> None:
-        if self.next_table is None:
+        next_table = self.next_table
+        if next_table is None:
             return
         other_branch = self._other_branch(caller)
+        lookup = other_branch.lookup_route
         plain: List[Any] = []
         for route in routes:
-            other = other_branch.lookup_route(route.net, caller=self)
+            other = lookup(route.net, caller=self)
             if other is None:
                 plain.append(route)
             elif preferred(route, other) is route:
                 if plain:
-                    self.next_table.delete_routes(plain, caller=self)
+                    next_table.delete_routes(plain, caller=self)
                     plain = []
-                self.next_table.replace_route(route, other, caller=self)
+                next_table.replace_route(route, other, caller=self)
         if plain:
-            self.next_table.delete_routes(plain, caller=self)
+            next_table.delete_routes(plain, caller=self)
 
     def replace_route(self, old_route: Any, new_route: Any, *,
                       caller: Optional[RouteTableStage] = None) -> None:

@@ -94,8 +94,9 @@ class RedistStage(RouteTableStage):
                    caller: Optional[RouteTableStage] = None) -> None:
         # Per-route winner/target bookkeeping, one downstream dispatch.
         targets = self._targets.values()
+        insert = self.winners.insert
         for route in routes:
-            self.winners.insert(route.net, route)
+            insert(route.net, route)
             for target in targets:
                 self._offer(target, route)
         if self.next_table is not None:
@@ -111,8 +112,9 @@ class RedistStage(RouteTableStage):
     def delete_routes(self, routes: List[Any], *,
                       caller: Optional[RouteTableStage] = None) -> None:
         targets = self._targets.values()
+        discard = self.winners.discard
         for route in routes:
-            self.winners.discard(route.net)
+            discard(route.net)
             for target in targets:
                 self._rescind(target, route)
         if self.next_table is not None:

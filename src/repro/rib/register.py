@@ -109,8 +109,9 @@ class RegisterStage(RouteTableStage):
         for reg_net, entry in self.registrations.covering(net):
             if entry not in victims:
                 victims.append(entry)
+        discard = self.registrations.discard
         for entry in victims:
-            self.registrations.discard(entry.subnet)
+            discard(entry.subnet)
             if self.invalidate_cb is not None:
                 for client in sorted(entry.clients):
                     self.invalidate_cb(client, entry.subnet)
@@ -124,8 +125,9 @@ class RegisterStage(RouteTableStage):
 
     def add_routes(self, routes: List[Any], *,
                    caller: Optional[RouteTableStage] = None) -> None:
+        insert = self.winners.insert
         for route in routes:
-            self.winners.insert(route.net, route)
+            insert(route.net, route)
             self._invalidate_overlapping(route.net)
         if self.next_table is not None:
             self.next_table.add_routes(routes, caller=self)
@@ -138,8 +140,9 @@ class RegisterStage(RouteTableStage):
 
     def delete_routes(self, routes: List[Any], *,
                       caller: Optional[RouteTableStage] = None) -> None:
+        discard = self.winners.discard
         for route in routes:
-            self.winners.discard(route.net)
+            discard(route.net)
             self._invalidate_overlapping(route.net)
         if self.next_table is not None:
             self.next_table.delete_routes(routes, caller=self)

@@ -170,9 +170,11 @@ class RibProcess(XorpProcess):
                             self._emit_fea6_batch)
         self.metrics.gauge("tables4", lambda: len(self.v4.origins))
         self.metrics.gauge("tables6", lambda: len(self.v6.origins))
+        add_origin4 = self.v4.add_origin
+        add_origin6 = self.v6.add_origin
         for protocol in self.BUILTIN_IGP_TABLES:
-            self.v4.add_origin(protocol, external=False)
-            self.v6.add_origin(protocol, external=False)
+            add_origin4(protocol, external=False)
+            add_origin6(protocol, external=False)
         self.xrl.bind(RIB_IDL, self)
         self.xrl.bind(PROFILER_IDL, self.profiler)
         self.xrl.bind(COMMON_IDL, self)
@@ -208,7 +210,7 @@ class RibProcess(XorpProcess):
 
     def _emit_fea(self, family: int, op: str, route: Any,
                   batching: bool) -> None:
-        self._prof_queued_fea.log(f"{op} {route.net}")
+        self._prof_queued_fea.log_op(op, route.net)
         self.flow.submit(family, op, route, batching)
 
     def _emit_fea4_batch(self, op: str, routes: List[Any]) -> None:
@@ -227,13 +229,16 @@ class RibProcess(XorpProcess):
         """
         if not routes:
             return
-        for route in routes:
-            self._prof_queued_fea.log(f"{op} {route.net}")
+        prof = self._prof_queued_fea
+        if prof.enabled:
+            for route in routes:
+                prof.log_op(op, route.net)
         self.flow.submit_batch(family, op, list(routes))
 
     def _log_sent_fea(self, lines: List[str]) -> None:
+        log = self._prof_sent_fea.log
         for line in lines:
-            self._prof_sent_fea.log(line)
+            log(line)
 
     def _send_fea_segment(self, family: int, op: str, routes: List[Any],
                           batching: bool, on_reply) -> None:
@@ -273,12 +278,16 @@ class RibProcess(XorpProcess):
                        else "delete_entries6"))
             xrl = Xrl(self.fea_target, "fea_fib", "1.0", method, args)
             batch = True
-        lines = [f"{op} {route.net}" for route in routes]
-        self.txq.enqueue(
-            xrl,
-            on_sent=lambda batch_lines=lines: self._log_sent_fea(batch_lines),
-            on_reply=on_reply,
-            batch=batch)
+        if self._prof_sent_fea.enabled:
+            # The sent-record strings (and the closure holding them) are
+            # only built when the profiling point is collecting.
+            lines = [f"{op} {route.net}" for route in routes]
+            on_sent = lambda batch_lines=lines: \
+                self._log_sent_fea(batch_lines)  # noqa: E731
+        else:
+            on_sent = None
+        self.txq.enqueue(xrl, on_sent=on_sent, on_reply=on_reply,
+                         batch=batch)
 
     def _poll_fea_status(self, on_reply) -> None:
         xrl = Xrl(self.fea_target, "fea_fib", "1.0", "get_queue_status",
@@ -341,16 +350,18 @@ class RibProcess(XorpProcess):
         """Replay redistribution to a reborn consumer process."""
         if not self.running:
             return
+        resync = self.v4.redist.resync_target
         for key, key_target in self._redist_targets.items():
             if key_target == target:
-                self.v4.redist.resync_target(key)
+                resync(key)
 
     def shutdown(self) -> None:
         if self.running:
             watcher = self._watcher_name()
-            self.host.finder.unwatch(watcher, self.fea_target)
+            unwatch = self.host.finder.unwatch
+            unwatch(watcher, self.fea_target)
             for target in self._redist_down:
-                self.host.finder.unwatch(watcher, target)
+                unwatch(watcher, target)
         super().shutdown()
 
     # -- invalidation notifications (paper §5.2.1) ----------------------------
@@ -395,7 +406,7 @@ class RibProcess(XorpProcess):
         origin.withdraw_batch([net for net, __ in origin.routes.items()])
 
     def xrl_add_route4(self, protocol, net, nexthop, metric, policytags) -> None:
-        self._prof_arrive.log(f"add {net}")
+        self._prof_arrive.log_op("add", net)
         origin = self.v4.origin(protocol)
         route = self._make_route(self.v4, protocol, net, nexthop, metric,
                                  policytags)
@@ -403,11 +414,11 @@ class RibProcess(XorpProcess):
 
     def xrl_replace_route4(self, protocol, net, nexthop, metric,
                            policytags) -> None:
-        self._prof_arrive.log(f"replace {net}")
+        self._prof_arrive.log_op("replace", net)
         self.xrl_add_route4(protocol, net, nexthop, metric, policytags)
 
     def xrl_delete_route4(self, protocol, net) -> None:
-        self._prof_arrive.log(f"delete {net}")
+        self._prof_arrive.log_op("delete", net)
         origin = self.v4.origin(protocol)
         if origin.withdraw_if_present(net) is None:
             raise XrlError(

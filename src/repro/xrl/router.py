@@ -268,6 +268,7 @@ class XrlRouter:
             if len(items) == 1:
                 call, request, on_reply = items[0]
                 try:
+                    # repro: allow[HOT001] single-member group: nothing to coalesce
                     sender.call(request, on_reply)
                 except XrlError:
                     self._retransmit_singular(call)
@@ -371,6 +372,7 @@ class XrlRouter:
                 group[1].append((call, request, on_reply))
                 return  # flusher transmits and arms the attempt timer
             try:
+                # repro: allow[HOT001] failover retry for ONE call, not per-route
                 entry.sender.call(request, on_reply)
             except XrlError as error:
                 # The sender is broken: drop it from the cache and retry

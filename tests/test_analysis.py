@@ -14,6 +14,7 @@ Four layers:
   findings (PRO004/PRO005 warnings and PRO006 info are allowed).
 """
 
+import json
 import shutil
 import subprocess
 import sys
@@ -23,6 +24,7 @@ from repro.analysis import (
     analyze_paths,
     analyze_source,
     analyze_sources,
+    build_hotpath,
     build_protocol_graph,
     collect_modules,
 )
@@ -614,8 +616,11 @@ class TestTreeGate:
         errors = [f for f in findings if f.severity == "error"]
         assert errors == [], "\n".join(f.render() for f in errors)
         # warnings/info are allowed on the shipped tree, but only the
-        # dead-surface and unread-reply rules should produce any
-        assert {f.rule for f in findings} <= {"PRO004", "PRO005", "PRO006"}
+        # dead-surface/unread-reply rules and the warning-severity
+        # hot-path cost rules should produce any
+        assert {f.rule for f in findings} <= {
+            "PRO004", "PRO005", "PRO006", "HOT003", "HOT004", "HOT005",
+        }
 
     def test_cli_exits_zero_on_clean_tree(self):
         result = subprocess.run(
@@ -812,6 +817,376 @@ class TestProtographGraph:
         for edge in graph.edges.values():
             assert f'"{edge.src}"' in dot
             assert f'"{edge.dst}"' in dot
+
+
+# ---------------------------------------------------------------------------
+# Hot-path cost analysis (HOT001–HOT006)
+# ---------------------------------------------------------------------------
+
+class TestHotPathFixtures:
+    """Small closed fixtures: each cost rule, a good and a bad case.
+
+    A method named ``add_routes`` on a class is a stage-entry hot root,
+    so these fixtures become hot without needing the real stage tree.
+    """
+
+    def test_cold_function_not_linted(self):
+        # The same singular-call loop OUTSIDE the hot set: no findings —
+        # the analyzer lints the hot path, not the whole tree.
+        source = (
+            "class Sink:\n"
+            "    def add_routes(self, routes, *, caller=None):\n"
+            "        pass\n"
+            "    def add_route(self, route, *, caller=None):\n"
+            "        pass\n"
+            "class Rebuilder:\n"
+            "    def rebuild(self, routes, sink):\n"
+            "        for route in routes:\n"
+            "            sink.add_route(route)\n"
+        )
+        findings = analyze_sources({"rib/table.py": source})
+        assert [f for f in findings if f.rule.startswith("HOT")] == []
+
+    def test_singular_call_in_hot_loop_hot001(self):
+        source = (
+            "class MergeTable:\n"
+            "    def __init__(self, next_table):\n"
+            "        self.next_table = next_table\n"
+            "    def add_routes(self, routes, *, caller=None):\n"
+            "        for route in routes:\n"
+            "            self.next_table.add_route(route, caller=self)\n"
+            "    def add_route(self, route, *, caller=None):\n"
+            "        pass\n"
+        )
+        findings = analyze_sources({"rib/table.py": source})
+        assert errors_of(findings) == ["HOT001"]
+        finding = next(f for f in findings if f.rule == "HOT001")
+        assert "add_routes" in finding.message
+        assert finding.line == 6
+
+    def test_batch_self_decomposition_clean(self):
+        # add_routes looping over self.add_route IS the batch API
+        # decomposing itself — the one legitimate singular loop.
+        source = (
+            "class Stage:\n"
+            "    def add_routes(self, routes, *, caller=None):\n"
+            "        for route in routes:\n"
+            "            self.add_route(route, caller=caller)\n"
+            "    def add_route(self, route, *, caller=None):\n"
+            "        pass\n"
+        )
+        findings = analyze_sources({"rib/table.py": source})
+        assert errors_of(findings) == []
+
+    def test_per_route_dict_hot002(self):
+        source = (
+            "class Distributor:\n"
+            "    def add_routes(self, routes, *, caller=None):\n"
+            "        for route in routes:\n"
+            "            message = {'net': route}\n"
+            "            self.emit(message)\n"
+            "    def emit(self, message):\n"
+            "        pass\n"
+        )
+        findings = analyze_sources({"fea/push.py": source})
+        assert errors_of(findings) == ["HOT002"]
+
+    def test_per_route_xrlargs_hot002(self):
+        source = (
+            "from repro.xrl import XrlArgs\n"
+            "class Sender:\n"
+            "    def add_routes(self, routes, *, caller=None):\n"
+            "        for route in routes:\n"
+            "            self.push(XrlArgs().add_txt('net', route))\n"
+            "    def push(self, args):\n"
+            "        pass\n"
+        )
+        findings = analyze_sources({"rib/send.py": source})
+        assert errors_of(findings) == ["HOT002"]
+
+    def test_hoisted_batch_build_clean(self):
+        source = (
+            "class Sender:\n"
+            "    def add_routes(self, routes, *, caller=None):\n"
+            "        nets = []\n"
+            "        for route in routes:\n"
+            "            nets.append(route)\n"
+            "        self.push(nets)\n"
+            "    def push(self, nets):\n"
+            "        pass\n"
+        )
+        findings = analyze_sources({"rib/send.py": source})
+        assert [f for f in findings if f.rule.startswith("HOT")] == []
+
+    def test_unslotted_hot_allocation_hot003(self):
+        source = (
+            "class Held:\n"
+            "    def __init__(self, net):\n"
+            "        self.net = net\n"
+            "class Table:\n"
+            "    def add_routes(self, routes, *, caller=None):\n"
+            "        for route in routes:\n"
+            "            self.store(Held(route))\n"
+            "    def store(self, held):\n"
+            "        pass\n"
+        )
+        findings = analyze_sources({"rib/table.py": source})
+        assert errors_of(findings) == []          # HOT003 is a warning
+        hot3 = [f for f in findings if f.rule == "HOT003"]
+        assert len(hot3) == 1
+        assert hot3[0].severity == "warning"
+        assert "Held" in hot3[0].message
+
+    def test_slotted_hot_allocation_clean(self):
+        source = (
+            "class Held:\n"
+            "    __slots__ = ('net',)\n"
+            "    def __init__(self, net):\n"
+            "        self.net = net\n"
+            "class Table:\n"
+            "    def add_routes(self, routes, *, caller=None):\n"
+            "        for route in routes:\n"
+            "            self.store(Held(route))\n"
+            "    def store(self, held):\n"
+            "        pass\n"
+        )
+        findings = analyze_sources({"rib/table.py": source})
+        assert [f for f in findings if f.rule == "HOT003"] == []
+
+    def test_exception_class_in_raise_not_hot003(self):
+        source = (
+            "class TableError(Exception):\n"
+            "    pass\n"
+            "class Table:\n"
+            "    def add_routes(self, routes, *, caller=None):\n"
+            "        for route in routes:\n"
+            "            if route is None:\n"
+            "                raise TableError('nil route')\n"
+        )
+        findings = analyze_sources({"rib/table.py": source})
+        assert [f for f in findings if f.rule == "HOT003"] == []
+
+    def test_deep_attr_chain_in_loop_hot004(self):
+        source = (
+            "class Fanout:\n"
+            "    def add_routes(self, routes, *, caller=None):\n"
+            "        for route in routes:\n"
+            "            self.peer.txq.append(route)\n"
+        )
+        findings = analyze_sources({"bgp/fan.py": source})
+        hot4 = [f for f in findings if f.rule == "HOT004"]
+        assert len(hot4) == 1
+        assert hot4[0].severity == "warning"
+        assert "self.peer.txq" in hot4[0].message
+
+    def test_hoisted_attr_chain_clean(self):
+        source = (
+            "class Fanout:\n"
+            "    def add_routes(self, routes, *, caller=None):\n"
+            "        enqueue = self.peer.txq.append\n"
+            "        for route in routes:\n"
+            "            enqueue(route)\n"
+        )
+        findings = analyze_sources({"bgp/fan.py": source})
+        assert [f for f in findings if f.rule == "HOT004"] == []
+
+    def test_eager_log_format_hot005(self):
+        source = (
+            "class Stage:\n"
+            "    def add_routes(self, routes, *, caller=None):\n"
+            "        for route in routes:\n"
+            "            self.log.debug(f'adding {route}')\n"
+        )
+        findings = analyze_sources({"rib/table.py": source})
+        hot5 = [f for f in findings if f.rule == "HOT005"]
+        assert len(hot5) == 1
+        assert hot5[0].severity == "warning"
+
+    def test_enabled_guarded_log_clean(self):
+        source = (
+            "class Stage:\n"
+            "    def add_routes(self, routes, *, caller=None):\n"
+            "        if self.log.enabled:\n"
+            "            for route in routes:\n"
+            "                self.log.debug(f'adding {route}')\n"
+        )
+        findings = analyze_sources({"rib/table.py": source})
+        assert [f for f in findings if f.rule == "HOT005"] == []
+
+    def test_nested_table_scan_hot006(self):
+        source = (
+            "class Merge:\n"
+            "    def add_routes(self, routes, *, caller=None):\n"
+            "        for route in routes:\n"
+            "            for net, held in self.index.items():\n"
+            "                pass\n"
+        )
+        findings = analyze_sources({"rib/merge2.py": source})
+        assert errors_of(findings) == ["HOT006"]
+
+    def test_per_item_subiteration_clean(self):
+        # Iterating something carried BY the route is linear, not a
+        # rescan of the whole table.
+        source = (
+            "class Merge:\n"
+            "    def add_routes(self, routes, *, caller=None):\n"
+            "        for route in routes:\n"
+            "            for hop in route.hops:\n"
+            "                pass\n"
+        )
+        findings = analyze_sources({"rib/merge2.py": source})
+        assert [f for f in findings if f.rule == "HOT006"] == []
+
+    def test_hot_rules_suppressible(self):
+        source = (
+            "class MergeTable:\n"
+            "    def add_routes(self, routes, *, caller=None):\n"
+            "        for route in routes:\n"
+            "            self.nt.add_route(route)"
+            "  # repro: allow[HOT001] ordering\n"
+            "    def add_route(self, route, *, caller=None):\n"
+            "        pass\n"
+        )
+        findings = analyze_sources({"rib/table.py": source})
+        assert errors_of(findings) == []
+
+
+class TestHotPathMutations:
+    """Seeded hot-path regressions against copies of the real tree."""
+
+    def test_singular_send_into_batched_stage_hot001(self, tmp_path):
+        tree = copy_tree(tmp_path)
+        merge = tree / "rib" / "merge.py"
+        text = merge.read_text()
+        batched = ("        if plain:\n"
+                   "            next_table.add_routes(plain, caller=self)\n")
+        assert batched in text
+        text = text.replace(
+            batched,
+            "        for route in plain:\n"
+            "            next_table.add_route(route, caller=self)\n")
+        merge.write_text(text)
+        findings = analyze_paths([tree])
+        errors = [f for f in findings if f.severity == "error"]
+        assert len(errors) == 1
+        assert errors[0].rule == "HOT001"
+        assert errors[0].path.endswith("rib/merge.py")
+        assert "add_routes" in errors[0].message
+
+    def test_per_route_dict_into_fea_distributor_hot002(self, tmp_path):
+        tree = copy_tree(tmp_path)
+        fea = tree / "fea" / "fea.py"
+        text = fea.read_text()
+        anchor = "                   in zip(nets, nexthops, ifnames)]\n"
+        assert anchor in text
+        text = text.replace(
+            anchor,
+            anchor + ("        for net in nets:\n"
+                      "            _shadow = {'net': net.value}\n"))
+        fea.write_text(text)
+        findings = analyze_paths([tree])
+        errors = [f for f in findings if f.severity == "error"]
+        assert len(errors) == 1
+        assert errors[0].rule == "HOT002"
+        assert errors[0].path.endswith("fea/fea.py")
+
+    def test_quadratic_rescan_in_merge_hot006(self, tmp_path):
+        tree = copy_tree(tmp_path)
+        merge = tree / "rib" / "merge.py"
+        text = merge.read_text()
+        anchor = "        for route in routes:\n"
+        assert anchor in text
+        text = text.replace(
+            anchor,
+            anchor + ("            for __net, __stale in "
+                      "self.index.items():\n"
+                      "                pass\n"),
+            1)
+        merge.write_text(text)
+        findings = analyze_paths([tree])
+        errors = [f for f in findings if f.severity == "error"]
+        assert len(errors) == 1
+        assert errors[0].rule == "HOT006"
+        assert errors[0].path.endswith("rib/merge.py")
+
+
+class TestHotPathGraph:
+    def test_hot_report_json_is_byte_stable(self):
+        modules, errors = collect_modules([SRC_REPRO])
+        assert errors == []
+        first = build_hotpath(modules).to_json()
+        second = build_hotpath(modules).to_json()
+        assert first == second
+        payload = json.loads(first)
+        assert payload["schema"] == "repro.hotpath/1"
+        assert payload["stats"]["hot_functions"] > 0
+
+    def test_hot_set_roots_and_members(self):
+        modules, _errors = collect_modules([SRC_REPRO])
+        graph = build_hotpath(modules)
+        families = set(graph.roots.values())
+        assert {"stage-entry", "xrl-dispatch", "fib-backend"} <= families
+        hot_quals = {fn.qualname for fn in graph.hot.values()}
+        assert "MergeStage.add_routes" in hot_quals
+        assert "DecisionStage.add_routes" in hot_quals
+        assert "NetlinkFibBackend.apply" in hot_quals
+        # exempt harness packages never enter the hot set
+        assert all(not key.startswith(("analysis/", "obs/", "sanitizer/"))
+                   for key in graph.hot)
+
+    def test_dot_export_mentions_every_root_family(self):
+        modules, _errors = collect_modules([SRC_REPRO])
+        graph = build_hotpath(modules)
+        dot = graph.to_dot()
+        for family in set(graph.roots.values()):
+            assert family in dot
+
+
+class TestFindingsCacheRuleset:
+    """The findings cache must key on the selected rule set.
+
+    Regression: the per-module findings cache ignored ``--rule``
+    filters, so a filtered run poisoned the cache and a later full run
+    replayed the filtered findings — silently dropping every other
+    rule's output.
+    """
+
+    def _seeded_tree(self, tmp_path):
+        tree = copy_tree(tmp_path)
+        bgp = tree / "bgp" / "process.py"
+        lines = bgp.read_text().splitlines(keepends=True)
+        anchor = next(i for i, line in enumerate(lines)
+                      if "self.xrl.bind(BGP_IDL, self)" in line)
+        lines.insert(anchor, "        import time; time.sleep(0.1)\n")
+        bgp.write_text("".join(lines))
+        return tree
+
+    def test_rule_filter_then_full_run_sees_everything(self, tmp_path):
+        tree = self._seeded_tree(tmp_path)
+        clear_module_cache()
+        filtered = analyze_paths([tree], rules=["DET002"])
+        assert rules_of(filtered) == ["DET002"]
+        # Same modules, same process: the full run must NOT reuse the
+        # DET002-only cached findings.
+        full = analyze_paths([tree])
+        assert "DET002" in rules_of(full)
+        assert {f.rule for f in full} > {"DET002"}, (
+            "full run replayed the rule-filtered cache")
+        # and narrowing again still works after the full run
+        narrowed = analyze_paths([tree], rules=["DET002"])
+        assert rules_of(narrowed) == ["DET002"]
+
+    def test_same_ruleset_rerun_is_check_cached(self, tmp_path):
+        tree = self._seeded_tree(tmp_path)
+        clear_module_cache()
+        analyze_paths([tree], rules=["DET002"])
+        warm: dict = {}
+        analyze_paths([tree], rules=["DET002"], stats=warm)
+        assert warm["check_cached"] == warm["files"] > 0
+        # a different rule set is a cache miss, not a replay
+        cold: dict = {}
+        analyze_paths([tree], rules=["XRL002"], stats=cold)
+        assert cold["check_cached"] == 0
 
 
 class TestAstCache:

@@ -84,6 +84,44 @@ class TestAnalysisCli:
         assert graph["edges"], "the shipped tree must have XRL edges"
         assert dot.read_text().startswith("digraph")
 
+    def test_hot_report_is_byte_stable(self, tmp_path):
+        first, second = tmp_path / "h1.json", tmp_path / "h2.json"
+        dot = tmp_path / "h.dot"
+        for out in (first, second):
+            result = run_cli("repro.analysis", str(SRC_REPRO),
+                             "--hot-report", str(out),
+                             "--hot-dot", str(dot))
+            assert result.returncode == 0, result.stdout + result.stderr
+        assert first.read_bytes() == second.read_bytes()
+        report = json.loads(first.read_text())
+        assert report["schema"] == "repro.hotpath/1"
+        assert report["stats"]["hot_functions"] > 0
+        assert report["roots"], "hot roots must be exported"
+        assert dot.read_text().startswith("digraph hotpath")
+
+    def test_seeded_hot_defect_exits_nonzero(self, tmp_path):
+        # De-batch the merge stage's segment flush: HOT001 must gate.
+        tree = copy_tree(tmp_path)
+        merge = tree / "rib" / "merge.py"
+        text = merge.read_text()
+        batched = ("        if plain:\n"
+                   "            next_table.add_routes(plain, caller=self)\n")
+        assert batched in text
+        merge.write_text(text.replace(
+            batched,
+            "        for route in plain:\n"
+            "            next_table.add_route(route, caller=self)\n"))
+        result = run_cli("repro.analysis", str(tree))
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "HOT001" in result.stdout
+
+    def test_hot_warnings_do_not_gate(self):
+        # The shipped tree still carries warning-severity hot findings
+        # (HOT003/HOT004 on config-time classes) — reported, exit 0.
+        result = run_cli("repro.analysis", str(SRC_REPRO))
+        assert result.returncode == 0
+        assert "HOT004" in result.stdout
+
     def test_json_format_reports_timing(self):
         result = run_cli("repro.analysis", str(SRC_REPRO),
                          "--format", "json")
