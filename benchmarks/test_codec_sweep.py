@@ -1,0 +1,105 @@
+"""Codec and deployment-mode sweeps: the perf story of the binary frames.
+
+Two measurements extend the committed trajectories:
+
+* Figure 9 — the XRL transaction over TCP with the frame codec as the
+  swept variable (textual canonical frames vs. the negotiated binary
+  form with method interning), across batch sizes 1 / 16 / 256.  The
+  acceptance bar: binary is >= 1.3x textual at batch 256.
+* Figure 13 — one deployment-mode point: routes/sec with the RIB and
+  FEA as real OS subprocesses, every route crossing two process
+  boundaries over TCP.  No bar beyond completing — the point exists so
+  the trajectory records what real process isolation costs relative to
+  the in-process pipeline.
+
+Env knobs: ``REPRO_FIG09_CODEC_TXN`` (transaction size),
+``REPRO_FIG13_SUBPROC_ROUTES`` (routes in the subprocess point).
+"""
+
+from pathlib import Path
+
+from conftest import env_int
+
+from repro.experiments.batchflow import (
+    BATCH_SIZES,
+    record_trajectory,
+    run_codec_sweep,
+    run_subprocess_route_point,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CODEC_TXN = env_int("REPRO_FIG09_CODEC_TXN", 5000)
+SUBPROC_ROUTES = env_int("REPRO_FIG13_SUBPROC_ROUTES", 512)
+
+ISSUE = 9
+LABEL = "negotiated binary frame codec & multi-process deployment"
+
+
+def test_fig09_codec_sweep(benchmark):
+    box = {}
+
+    def run():
+        box["rates"] = run_codec_sweep(BATCH_SIZES,
+                                       transaction_size=CODEC_TXN)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rates = box["rates"]
+    print()
+    for name, table in rates.items():
+        for size, rate in sorted(table.items()):
+            print(f"{name:>12} batch {size:>3}: {rate:>9.0f} XRLs/s")
+
+    speedups = {
+        size: rates["tcp-binary"][size] / rates["tcp-textual"][size]
+        for size in BATCH_SIZES
+    }
+    for size, speedup in sorted(speedups.items()):
+        print(f"binary/textual at batch {size:>3}: {speedup:.2f}x")
+        benchmark.extra_info[f"binary_speedup_{size}"] = round(speedup, 3)
+
+    entry = {
+        "issue": ISSUE,
+        "label": LABEL,
+        "transaction_size": CODEC_TXN,
+        "xrls_per_sec": {
+            name: {str(size): round(rate, 1)
+                   for size, rate in sorted(table.items())}
+            for name, table in rates.items()
+        },
+        "binary_speedup_vs_textual": {
+            str(size): round(speedup, 3)
+            for size, speedup in sorted(speedups.items())
+        },
+    }
+    record_trajectory(REPO_ROOT / "BENCH_fig09.json", "fig09",
+                      "XRLs/sec by (family, batch size)", entry)
+
+    # The acceptance bar for the binary codec.
+    assert speedups[256] >= 1.3, (
+        f"binary frames only {speedups[256]:.2f}x textual at batch 256")
+
+
+def test_fig13_subprocess_point(benchmark):
+    box = {}
+
+    def run():
+        box["rate"] = run_subprocess_route_point(SUBPROC_ROUTES)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rate = box["rate"]
+    print(f"\nsubprocess mode: {rate:.0f} routes/s "
+          f"({SUBPROC_ROUTES} routes, rib+fea as OS processes)")
+    benchmark.extra_info["routes_per_sec"] = round(rate, 1)
+
+    entry = {
+        "issue": ISSUE,
+        "label": LABEL,
+        "mode": "subprocess (rib + fea as OS processes, TCP transport)",
+        "route_count": SUBPROC_ROUTES,
+        "routes_per_sec": round(rate, 1),
+    }
+    record_trajectory(REPO_ROOT / "BENCH_fig13.json", "fig13",
+                      "routes/sec through RIB->FEA (adds + withdrawals)",
+                      entry)
+    assert rate > 100, f"subprocess route flow implausibly slow: {rate:.0f}/s"

@@ -42,7 +42,7 @@ class Router:
                 .add_ipv4net("net", net_text).add_ipv4("nexthop", nexthop)
                 .add_u32("metric", 1).add_list("policytags", []))
         error, __ = self.bgp.xrl.send_sync(
-            Xrl("rib", "rib", "1.0", "add_route4", args), timeout=10)
+            Xrl("rib", "rib", "1.0", "add_route4", args), deadline=10)
         assert error.is_okay, error
 
     def show_bgp_route(self, prefix_text):

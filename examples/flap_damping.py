@@ -34,7 +34,7 @@ def main() -> None:
     args = (XrlArgs().add_txt("protocol", "static")
             .add_ipv4net("net", "10.0.0.0/24").add_ipv4("nexthop", "0.0.0.0")
             .add_u32("metric", 1).add_list("policytags", []))
-    bgp.xrl.send_sync(Xrl("rib", "rib", "1.0", "add_route4", args), timeout=10)
+    bgp.xrl.send_sync(Xrl("rib", "rib", "1.0", "add_route4", args), deadline=10)
 
     # The flapping neighbour, with damping enabled on its input branch.
     flapper = BgpProcess(Host(loop=loop), local_as=65001,

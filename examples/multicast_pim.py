@@ -43,7 +43,7 @@ def main() -> None:
 
         args = RIB_IDL.method(method).build_args(values)
         error, __ = pim.xrl.send_sync(Xrl("rib", "rib", "1.0", method, args),
-                                      timeout=10)
+                                      deadline=10)
         assert error.is_okay, error
 
     print("== configure the RP (77.0.0.1, reachable via eth0) ==")
@@ -51,7 +51,7 @@ def main() -> None:
              nexthop="10.1.0.2", metric=1, policytags=[])
     args = (XrlArgs().add_ipv4net("group_prefix", "239.0.0.0/8")
             .add_ipv4("rp", "77.0.0.1"))
-    pim.xrl.send_sync(Xrl("pim", "pim", "0.1", "set_rp", args), timeout=10)
+    pim.xrl.send_sync(Xrl("pim", "pim", "0.1", "set_rp", args), deadline=10)
     network.run(duration=1)
 
     print("\n== a receiver on eth2 joins 239.1.1.1 (IGMP report) ==")

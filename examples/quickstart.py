@@ -33,7 +33,7 @@ def main() -> None:
 
     rip2.xrl.send_sync(Xrl("rib", "rib", "1.0", "redist_enable4",
                            XrlArgs().add_txt("target", "rip")
-                           .add_txt("from_protocol", "connected")), timeout=10)
+                           .add_txt("from_protocol", "connected")), deadline=10)
 
     rtrmgr = RouterManager(r1.host)
     cli = Cli(rtrmgr)

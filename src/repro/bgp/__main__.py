@@ -1,0 +1,69 @@
+"""``python -m repro.bgp`` — BGP as a standalone OS process.
+
+Besides the shared child bootstrap, this main owns the real BGP TCP
+wiring: ``--bgp-listen`` accepts inbound sessions, ``--bgp-connect``
+dials peers.  Peers themselves are configured later, over XRL from the
+rtrmgr, so both sides poll: the passive side parks accepted connections
+on the first enabled session-less peer handler; the active side keeps a
+short re-dial timer until its peer appears, after which the FSM's own
+connect-retry drives reconnection.
+"""
+
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.bgp import BgpProcess
+from repro.bgp.session import TcpSession, TcpSessionListener
+from repro.core.runtime import ChildRuntime, base_parser, parse_endpoint
+from repro.net import IPv4
+
+
+def wire_sessions(runtime: ChildRuntime, process: BgpProcess,
+                  listen_port: Optional[int],
+                  connects: Dict[str, Tuple[str, int]]) -> None:
+    """Attach real TCP transports to peers as rtrmgr provisions them."""
+    if listen_port is not None:
+        def on_session(session: TcpSession) -> None:
+            for handler in process.peers.values():
+                if handler.enabled and (handler.session is None
+                                        or not handler.session.connected):
+                    handler.attach_session(session)
+                    return
+            session.close()
+
+        TcpSessionListener(runtime.loop, on_session, port=listen_port)
+
+    if connects:
+        def dial() -> None:
+            for peer_id, remote in connects.items():
+                handler = process.peers.get(peer_id)
+                if (handler is not None and handler.enabled
+                        and handler.session is None):
+                    handler.attach_session(
+                        TcpSession(runtime.loop, remote=remote))
+                    handler.session.connect()
+            runtime.loop.call_later(0.2, dial, name="bgp-dial")
+
+        runtime.loop.call_soon(dial)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = base_parser("repro.bgp")
+    parser.add_argument("--local-as", type=int, default=65000)
+    parser.add_argument("--bgp-id", default="127.0.0.1")
+    parser.add_argument("--bgp-listen", type=int, default=None, metavar="PORT",
+                        help="accept inbound BGP TCP sessions on this port")
+    parser.add_argument("--bgp-connect", action="append", default=[],
+                        type=parse_endpoint, metavar="PEER=HOST:PORT",
+                        help="dial this peer's BGP TCP listener (repeatable)")
+    args = parser.parse_args(argv)
+    runtime = ChildRuntime(args.finder, codec=args.codec)
+    process = BgpProcess(runtime.host, local_as=args.local_as,
+                         bgp_id=IPv4(args.bgp_id))
+    wire_sessions(runtime, process, args.bgp_listen, dict(args.bgp_connect))
+    runtime.install_signal_handlers()
+    runtime.run()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as subprocess
+    main(sys.argv[1:])

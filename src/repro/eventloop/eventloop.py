@@ -140,6 +140,24 @@ class EventLoop:
         expiry = self.timers.next_expiry()
         return expiry is not None and expiry <= self.clock.now()
 
+    def poll_io(self, timeout: float = 0.0) -> bool:
+        """Service ready I/O callbacks once, nothing else.
+
+        Unlike :meth:`run_once` this never runs timers or deferred
+        callbacks, so it is safe to call from *inside* a timer callback —
+        the spawn manager uses it to pump Finder-daemon traffic while it
+        blocks waiting for a freshly forked child to register.
+        """
+        if not self._fd_count:
+            return False
+        ran = False
+        for key, mask in self._selector.select(timeout):
+            for want_mask, cb in list(key.data.items()):
+                if mask & want_mask:
+                    cb()
+                    ran = True
+        return ran
+
     def run_once(self, block: bool = True) -> bool:
         """Process one batch of events; return True if anything ran.
 

@@ -114,7 +114,8 @@ def run_xrl_throughput(arg_counts: Optional[List[int]] = None, *,
                        window: int = 100,
                        repetitions: int = 1,
                        families: Optional[List[str]] = None,
-                       batch_size: int = 1) -> XrlPerfResult:
+                       batch_size: int = 1,
+                       codec: Optional[str] = None) -> XrlPerfResult:
     """Run the Figure 9 experiment; returns the rate table.
 
     The receiving target ignores its arguments (the paper measures
@@ -122,6 +123,8 @@ def run_xrl_throughput(arg_counts: Optional[List[int]] = None, *,
     method accepts any argument list via a raw registration.
     *batch_size* > 1 sends in coalesced groups (the batched-API sweep);
     the default keeps the paper's one-frame-per-XRL pipeline.
+    *codec* pins the TCP family's frame codec (``"binary"`` /
+    ``"textual"``); ``None`` keeps the environment default.
     """
     if arg_counts is None:
         arg_counts = [0, 5, 10, 15, 20, 25]
@@ -142,7 +145,7 @@ def run_xrl_throughput(arg_counts: Optional[List[int]] = None, *,
             family = HostLocalFamily()
             token = None
         elif family_name == "tcp":
-            family = TcpFamily()
+            family = TcpFamily(codec=codec)
             token = None
         elif family_name == "udp":
             family = UdpFamily()

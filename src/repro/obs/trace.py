@@ -46,7 +46,7 @@ from repro.eventloop.eventloop import EventLoop
 from repro.net import IPNet
 from repro.obs.metrics import MetricsRegistry
 from repro.xrl import XrlArgs, XrlError, XrlRouter
-from repro.xrl.transport.base import decode_request, encode_request
+from repro.xrl.codec import TEXTUAL as TEXTUAL_CODEC
 
 #: the reserved XRL argument carrying trace contexts across frames.
 #: The dispatch sanitizer treats it like ``bench/1.0`` traffic: stripped
@@ -415,16 +415,18 @@ class Tracer:
 
         self._rebind(XrlRouter, "send", original_send, send)
 
-        original_dispatch = XrlRouter.__dict__["dispatch_frame_async"]
+        # Wrap the post-decode dispatch hook, not dispatch_frame_async:
+        # the frame may have travelled in a stateful per-connection codec,
+        # so the span is recorded (and the trace atom stripped) on the
+        # decoded arguments instead of re-encoding the frame.
+        original_dispatch = XrlRouter.__dict__["dispatch_request"]
 
         @functools.wraps(original_dispatch)
-        def dispatch_frame_async(router, frame, respond):
-            try:
-                seq, resolved_method, args = decode_request(frame)
-            except XrlError:
-                return original_dispatch(router, frame, respond)
+        def dispatch_request(router, seq, resolved_method, args, respond, *,
+                             codec=TEXTUAL_CODEC):
             if not args.has(TRACE_ARG):
-                return original_dispatch(router, frame, respond)
+                return original_dispatch(router, seq, resolved_method, args,
+                                         respond, codec=codec)
             entries = args.get_txt(TRACE_ARG)
             clean = XrlArgs([a for a in args if a.name != TRACE_ARG])
             op = resolved_method.rsplit("/", 1)[-1]
@@ -440,11 +442,11 @@ class Tracer:
                     continue
                 tracer._record(ctx, "xrl-recv", router.class_name, op,
                                parent_id)
-            return original_dispatch(
-                router, encode_request(seq, resolved_method, clean), respond)
+            return original_dispatch(router, seq, resolved_method, clean,
+                                     respond, codec=codec)
 
-        self._rebind(XrlRouter, "dispatch_frame_async", original_dispatch,
-                     dispatch_frame_async)
+        self._rebind(XrlRouter, "dispatch_request", original_dispatch,
+                     dispatch_request)
 
     # -- event-loop instrumentation ----------------------------------------
     def _instrument_eventloop(self) -> None:

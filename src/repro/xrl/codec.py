@@ -1,0 +1,497 @@
+"""XRL frame codecs: the textual baseline and the negotiated binary form.
+
+Two frame codecs share the request/response surface:
+
+* **textual** — the original frame layout every transport speaks by
+  default (the paper's "canonical" form; still self-describing and
+  stateless):
+
+  - request:  ``!I seq  !H len(method)  method-utf8  args-binary``
+  - response: ``!I seq  !I errcode  !H len(note)  note-utf8  args-binary``
+
+* **binary** — a per-connection stateful codec negotiated over TCP via a
+  hello/capability exchange ("internally XRLs are encoded more
+  efficiently", paper §3.1).  Msgpack-style self-describing atoms with
+  varint lengths and one-byte small-integer packing, plus per-connection
+  **method interning**: the resolved method string (a 16-byte access key
+  + interface/version/method, ~55 bytes) is transmitted once and then
+  referenced by a 1–2 byte id.  Decode bypasses per-atom validation —
+  the producer validated on encode and TCP preserves bytes.
+
+The *method* string on the wire is the **resolved** method name, i.e. the
+Finder-issued 16-byte access key followed by ``interface/version/method``
+(paper §7) — receivers reject requests whose key does not match.
+
+Both codecs keep the sequence number as the first four bytes (``!I``) of
+the body so transports can demux replies without knowing the codec.
+
+Frame *kind* bytes (prefixed by codec-aware transports, i.e. TCP):
+
+========  =====================================================
+``0x00``  textual body follows
+``0x01``  binary body follows
+``0x7E``  HELLO — JSON capabilities, opens negotiation
+``0x7F``  HELLO-ACK — JSON ``{"codec": ...}``, closes negotiation
+========  =====================================================
+
+A connection starts textual in both directions; each side switches to
+binary only after the HELLO/HELLO-ACK round-trip, so an endpoint that
+never answers (or answers with an empty codec set) silently leaves the
+connection on the textual frames — the transparent fallback.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.net import AddressError, IPNet, IPv4, IPv6, Mac
+from repro.xrl.args import XrlArgs
+from repro.xrl.error import XrlError, XrlErrorCode
+from repro.xrl.types import XrlAtom, XrlAtomType
+
+# -- frame kinds (transport prefix, one byte) ---------------------------------
+
+KIND_TEXTUAL = 0x00
+KIND_BINARY = 0x01
+KIND_HELLO = 0x7E
+KIND_HELLO_ACK = 0x7F
+
+
+# -- the textual codec (module functions: the historical public surface) ------
+
+def encode_request(seq: int, resolved_method: str, args: XrlArgs) -> bytes:
+    method_bytes = resolved_method.encode("utf-8")
+    return (
+        struct.pack("!IH", seq & 0xFFFFFFFF, len(method_bytes))
+        + method_bytes
+        + args.to_binary()
+    )
+
+
+def decode_request(data: bytes) -> Tuple[int, str, XrlArgs]:
+    try:
+        seq, method_len = struct.unpack_from("!IH", data, 0)
+        offset = 6
+        method = data[offset : offset + method_len].decode("utf-8")
+        offset += method_len
+        args = XrlArgs.from_binary(data, offset)
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise XrlError(XrlErrorCode.BAD_ARGS, f"corrupt request frame: {exc}") from exc
+    return seq, method, args
+
+
+def encode_response(seq: int, error: XrlError, args: Optional[XrlArgs]) -> bytes:
+    note_bytes = error.note.encode("utf-8")
+    body = (args if args is not None else XrlArgs()).to_binary()
+    return (
+        struct.pack("!IIH", seq & 0xFFFFFFFF, int(error.code), len(note_bytes))
+        + note_bytes
+        + body
+    )
+
+
+def decode_response(data: bytes) -> Tuple[int, XrlError, XrlArgs]:
+    try:
+        seq, code, note_len = struct.unpack_from("!IIH", data, 0)
+        offset = 10
+        note = data[offset : offset + note_len].decode("utf-8")
+        offset += note_len
+        args = XrlArgs.from_binary(data, offset)
+        error = XrlError(XrlErrorCode(code), note)
+    except (struct.error, ValueError, UnicodeDecodeError) as exc:
+        raise XrlError(
+            XrlErrorCode.BAD_ARGS, f"corrupt response frame: {exc}"
+        ) from exc
+    return seq, error, args
+
+
+class FrameCodec:
+    """Encode/decode one direction-pair of XRL frames for one connection."""
+
+    name: str = "?"
+    #: the frame-kind byte codec-aware transports prefix bodies with
+    kind: int = KIND_TEXTUAL
+
+    def encode_request(self, seq: int, resolved_method: str,
+                       args: XrlArgs) -> bytes:
+        raise NotImplementedError
+
+    def decode_request(self, data: bytes) -> Tuple[int, str, XrlArgs]:
+        raise NotImplementedError
+
+    def encode_response(self, seq: int, error: XrlError,
+                        args: Optional[XrlArgs]) -> bytes:
+        raise NotImplementedError
+
+    def decode_response(self, data: bytes) -> Tuple[int, XrlError, XrlArgs]:
+        raise NotImplementedError
+
+
+class TextualCodec(FrameCodec):
+    """Stateless delegate to the canonical frame functions above."""
+
+    name = "textual"
+    kind = KIND_TEXTUAL
+
+    encode_request = staticmethod(encode_request)
+    decode_request = staticmethod(decode_request)
+    encode_response = staticmethod(encode_response)
+    decode_response = staticmethod(decode_response)
+
+
+#: the shared stateless instance every non-negotiating transport uses
+TEXTUAL = TextualCodec()
+
+
+# -- varints ------------------------------------------------------------------
+
+def write_uvarint(buf: bytearray, value: int) -> None:
+    while value > 0x7F:
+        buf.append((value & 0x7F) | 0x80)
+        value >>= 7
+    buf.append(value)
+
+
+def read_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if byte < 0x80:
+            return result, offset
+        shift += 7
+        if shift > 70:
+            raise ValueError("uvarint too long")
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63)
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+# -- binary atom tags ---------------------------------------------------------
+
+_TAG_I32 = 0x01
+_TAG_U32 = 0x02
+_TAG_I64 = 0x03
+_TAG_U64 = 0x04
+_TAG_TXT = 0x05
+_TAG_BOOL_FALSE = 0x06
+_TAG_BOOL_TRUE = 0x07
+_TAG_IPV4 = 0x08
+_TAG_IPV6 = 0x09
+_TAG_IPV4NET = 0x0A
+_TAG_IPV6NET = 0x0B
+_TAG_MAC = 0x0C
+_TAG_BINARY = 0x0D
+_TAG_LIST = 0x0E
+#: ``0x80 | v`` packs a u32 in [0, 0x7F] into the tag byte itself
+_TAG_FIXU32 = 0x80
+
+_PLAIN_TAGS: Dict[XrlAtomType, int] = {
+    XrlAtomType.I32: _TAG_I32,
+    XrlAtomType.U32: _TAG_U32,
+    XrlAtomType.I64: _TAG_I64,
+    XrlAtomType.U64: _TAG_U64,
+    XrlAtomType.TXT: _TAG_TXT,
+    XrlAtomType.IPV4: _TAG_IPV4,
+    XrlAtomType.IPV6: _TAG_IPV6,
+    XrlAtomType.IPV4NET: _TAG_IPV4NET,
+    XrlAtomType.IPV6NET: _TAG_IPV6NET,
+    XrlAtomType.MAC: _TAG_MAC,
+    XrlAtomType.BINARY: _TAG_BINARY,
+    XrlAtomType.LIST: _TAG_LIST,
+}
+
+
+def _encode_atoms(buf: bytearray, atoms: List[XrlAtom]) -> None:
+    write_uvarint(buf, len(atoms))
+    for atom in atoms:
+        name_bytes = atom.name.encode("utf-8")
+        write_uvarint(buf, len(name_bytes))
+        buf += name_bytes
+        t = atom.type
+        value = atom.value
+        if t is XrlAtomType.U32:
+            if value < 0x80:
+                buf.append(_TAG_FIXU32 | value)
+            else:
+                buf.append(_TAG_U32)
+                write_uvarint(buf, value)
+        elif t is XrlAtomType.TXT:
+            data = value.encode("utf-8")
+            buf.append(_TAG_TXT)
+            write_uvarint(buf, len(data))
+            buf += data
+        elif t is XrlAtomType.BOOL:
+            buf.append(_TAG_BOOL_TRUE if value else _TAG_BOOL_FALSE)
+        elif t is XrlAtomType.I32:
+            buf.append(_TAG_I32)
+            write_uvarint(buf, _zigzag(value))
+        elif t is XrlAtomType.I64:
+            buf.append(_TAG_I64)
+            write_uvarint(buf, _zigzag(value))
+        elif t is XrlAtomType.U64:
+            buf.append(_TAG_U64)
+            write_uvarint(buf, value)
+        elif t is XrlAtomType.IPV4:
+            buf.append(_TAG_IPV4)
+            buf += value.to_bytes()
+        elif t is XrlAtomType.IPV6:
+            buf.append(_TAG_IPV6)
+            buf += value.to_bytes()
+        elif t is XrlAtomType.IPV4NET:
+            buf.append(_TAG_IPV4NET)
+            buf += value.network.to_bytes()
+            buf.append(value.prefix_len)
+        elif t is XrlAtomType.IPV6NET:
+            buf.append(_TAG_IPV6NET)
+            buf += value.network.to_bytes()
+            buf.append(value.prefix_len)
+        elif t is XrlAtomType.MAC:
+            buf.append(_TAG_MAC)
+            buf += value.to_bytes()
+        elif t is XrlAtomType.BINARY:
+            buf.append(_TAG_BINARY)
+            write_uvarint(buf, len(value))
+            buf += value
+        elif t is XrlAtomType.LIST:
+            buf.append(_TAG_LIST)
+            _encode_atoms(buf, value)
+        else:  # pragma: no cover - the tag table covers every atom type
+            raise XrlError(XrlErrorCode.INTERNAL_ERROR, f"unencodable type {t}")
+
+
+def _new_atom(name: str, atom_type: XrlAtomType, value) -> XrlAtom:
+    # Trusted fast path: the producing side ran full validation in
+    # XrlAtom.__init__ and TCP preserves bytes, so decode skips it.
+    atom = XrlAtom.__new__(XrlAtom)
+    atom.name = name
+    atom.type = atom_type
+    atom.value = value
+    return atom
+
+
+def _decode_atoms(data: bytes, offset: int) -> Tuple[List[XrlAtom], int]:
+    count, offset = read_uvarint(data, offset)
+    atoms: List[XrlAtom] = []
+    append = atoms.append
+    for __ in range(count):
+        name_len, offset = read_uvarint(data, offset)
+        end = offset + name_len
+        name = data[offset:end].decode("utf-8")
+        tag = data[end]
+        offset = end + 1
+        if tag >= _TAG_FIXU32:
+            append(_new_atom(name, XrlAtomType.U32, tag & 0x7F))
+        elif tag == _TAG_U32:
+            value, offset = read_uvarint(data, offset)
+            append(_new_atom(name, XrlAtomType.U32, value))
+        elif tag == _TAG_TXT:
+            length, offset = read_uvarint(data, offset)
+            end = offset + length
+            if end > len(data):
+                raise ValueError("truncated txt payload")
+            append(_new_atom(name, XrlAtomType.TXT,
+                             data[offset:end].decode("utf-8")))
+            offset = end
+        elif tag == _TAG_BOOL_TRUE:
+            append(_new_atom(name, XrlAtomType.BOOL, True))
+        elif tag == _TAG_BOOL_FALSE:
+            append(_new_atom(name, XrlAtomType.BOOL, False))
+        elif tag == _TAG_I32:
+            value, offset = read_uvarint(data, offset)
+            append(_new_atom(name, XrlAtomType.I32, _unzigzag(value)))
+        elif tag == _TAG_I64:
+            value, offset = read_uvarint(data, offset)
+            append(_new_atom(name, XrlAtomType.I64, _unzigzag(value)))
+        elif tag == _TAG_U64:
+            value, offset = read_uvarint(data, offset)
+            append(_new_atom(name, XrlAtomType.U64, value))
+        elif tag == _TAG_IPV4:
+            end = offset + 4
+            append(_new_atom(name, XrlAtomType.IPV4, IPv4(data[offset:end])))
+            offset = end
+        elif tag == _TAG_IPV6:
+            end = offset + 16
+            append(_new_atom(name, XrlAtomType.IPV6, IPv6(data[offset:end])))
+            offset = end
+        elif tag == _TAG_IPV4NET:
+            end = offset + 4
+            append(_new_atom(name, XrlAtomType.IPV4NET,
+                             IPNet(IPv4(data[offset:end]), data[end])))
+            offset = end + 1
+        elif tag == _TAG_IPV6NET:
+            end = offset + 16
+            append(_new_atom(name, XrlAtomType.IPV6NET,
+                             IPNet(IPv6(data[offset:end]), data[end])))
+            offset = end + 1
+        elif tag == _TAG_MAC:
+            end = offset + 6
+            append(_new_atom(name, XrlAtomType.MAC, Mac(data[offset:end])))
+            offset = end
+        elif tag == _TAG_BINARY:
+            length, offset = read_uvarint(data, offset)
+            end = offset + length
+            if end > len(data):
+                raise ValueError("truncated binary payload")
+            append(_new_atom(name, XrlAtomType.BINARY, bytes(data[offset:end])))
+            offset = end
+        elif tag == _TAG_LIST:
+            value, offset = _decode_atoms(data, offset)
+            append(_new_atom(name, XrlAtomType.LIST, value))
+        else:
+            raise ValueError(f"unknown atom tag {tag:#x}")
+    return atoms, offset
+
+
+def _args_from_atoms(atoms: List[XrlAtom]) -> XrlArgs:
+    args = XrlArgs.__new__(XrlArgs)
+    args._atoms = atoms
+    args._index = {atom.name: atom for atom in atoms}
+    return args
+
+
+class BinaryCodec(FrameCodec):
+    """One connection endpoint's binary frame state.
+
+    Request encoding and request decoding each carry a method-intern
+    table.  The tables stay consistent because frames travel over an
+    ordered byte stream: the encoder assigns ids in emission order and
+    the decoder assigns the same ids in arrival order.  Responses carry
+    no interned state, so they survive connection-codec transitions.
+    """
+
+    name = "binary"
+    kind = KIND_BINARY
+
+    __slots__ = ("_methods_out", "_methods_in")
+
+    def __init__(self) -> None:
+        #: method -> pre-rendered token bytes (encoder side)
+        self._methods_out: Dict[str, bytes] = {}
+        #: id (1-based, list index + 1) -> method (decoder side)
+        self._methods_in: List[str] = []
+
+    # -- requests ---------------------------------------------------------
+    def encode_request(self, seq: int, resolved_method: str,
+                       args: XrlArgs) -> bytes:
+        buf = bytearray(struct.pack("!I", seq & 0xFFFFFFFF))
+        token = self._methods_out.get(resolved_method)
+        if token is None:
+            # First use on this connection: emit the definition (token 0
+            # + string); later frames reference it by implicit id.
+            method_bytes = resolved_method.encode("utf-8")
+            buf.append(0)
+            write_uvarint(buf, len(method_bytes))
+            buf += method_bytes
+            ref = bytearray()
+            write_uvarint(ref, len(self._methods_out) + 1)
+            self._methods_out[resolved_method] = bytes(ref)
+        else:
+            buf += token
+        _encode_atoms(buf, args._atoms)
+        return bytes(buf)
+
+    def decode_request(self, data: bytes) -> Tuple[int, str, XrlArgs]:
+        try:
+            (seq,) = struct.unpack_from("!I", data, 0)
+            token, offset = read_uvarint(data, 4)
+            if token == 0:
+                length, offset = read_uvarint(data, offset)
+                end = offset + length
+                if end > len(data):
+                    raise ValueError("truncated method definition")
+                method = data[offset:end].decode("utf-8")
+                self._methods_in.append(method)
+                offset = end
+            else:
+                method = self._methods_in[token - 1]
+            atoms, offset = _decode_atoms(data, offset)
+            if offset != len(data):
+                raise ValueError(f"{len(data) - offset} trailing bytes")
+        except (struct.error, ValueError, IndexError, UnicodeDecodeError,
+                AddressError) as exc:
+            raise XrlError(
+                XrlErrorCode.BAD_ARGS, f"corrupt binary request frame: {exc}"
+            ) from exc
+        return seq, method, _args_from_atoms(atoms)
+
+    # -- responses --------------------------------------------------------
+    def encode_response(self, seq: int, error: XrlError,
+                        args: Optional[XrlArgs]) -> bytes:
+        buf = bytearray(struct.pack("!I", seq & 0xFFFFFFFF))
+        write_uvarint(buf, int(error.code))
+        note_bytes = error.note.encode("utf-8")
+        write_uvarint(buf, len(note_bytes))
+        buf += note_bytes
+        _encode_atoms(buf, args._atoms if args is not None else [])
+        return bytes(buf)
+
+    def decode_response(self, data: bytes) -> Tuple[int, XrlError, XrlArgs]:
+        try:
+            (seq,) = struct.unpack_from("!I", data, 0)
+            code, offset = read_uvarint(data, 4)
+            note_len, offset = read_uvarint(data, offset)
+            end = offset + note_len
+            if end > len(data):
+                raise ValueError("truncated error note")
+            note = data[offset:end].decode("utf-8")
+            atoms, offset = _decode_atoms(data, end)
+            if offset != len(data):
+                raise ValueError(f"{len(data) - offset} trailing bytes")
+            error = XrlError(XrlErrorCode(code), note)
+        except (struct.error, ValueError, IndexError, UnicodeDecodeError,
+                AddressError) as exc:
+            raise XrlError(
+                XrlErrorCode.BAD_ARGS, f"corrupt binary response frame: {exc}"
+            ) from exc
+        return seq, error, _args_from_atoms(atoms)
+
+
+# -- negotiation --------------------------------------------------------------
+
+#: codecs in preference order (first common entry wins)
+CODEC_PREFERENCE = ("binary", "textual")
+
+
+def encode_hello(codecs) -> bytes:
+    """The HELLO / HELLO-ACK payload: JSON capability dict."""
+    return json.dumps({"codecs": list(codecs)}).encode("utf-8")
+
+
+def decode_hello(payload: bytes) -> List[str]:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+        if not isinstance(message, dict):
+            raise ValueError("hello payload must be a JSON object")
+        codecs = message.get("codecs", [])
+        if not isinstance(codecs, list):
+            raise ValueError("codecs must be a list")
+        return [str(codec) for codec in codecs]
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise XrlError(
+            XrlErrorCode.BAD_ARGS, f"corrupt hello frame: {exc}"
+        ) from exc
+
+
+def choose_codec(local, remote) -> str:
+    """Pick the preferred codec both ends speak (textual as floor)."""
+    remote_set = set(remote)
+    for codec in CODEC_PREFERENCE:
+        if codec in local and codec in remote_set:
+            return codec
+    return "textual"
+
+
+def make_codec(name: str) -> FrameCodec:
+    if name == "binary":
+        return BinaryCodec()
+    return TEXTUAL

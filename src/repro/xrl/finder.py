@@ -212,6 +212,11 @@ class Finder:
         for router in list(self._resolver_clients.get(class_name, ())):
             router.finder_cache_invalidate(class_name)
 
+    def forget_resolver_client(self, client) -> None:
+        """Drop *client* from every invalidation set (its process died)."""
+        for clients in self._resolver_clients.values():
+            clients.discard(client)
+
     # -- lifetime notification ---------------------------------------------
     def watch(self, watcher_name: str, class_name: str,
               callback: WatchCallback) -> None:

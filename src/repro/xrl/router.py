@@ -11,28 +11,24 @@ handler.
 from __future__ import annotations
 
 import itertools
-import warnings
+import os
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.eventloop import EventLoop
 from repro.xrl.args import XrlArgs
+from repro.xrl.codec import TEXTUAL, FrameCodec
 from repro.xrl.error import XrlError, XrlErrorCode
 from repro.xrl.finder import Finder
 from repro.xrl.idl import XrlInterface, XrlMethod
 from repro.xrl.retry import RetryPolicy
-from repro.xrl.transport.base import (
-    ProtocolFamily,
-    Sender,
-    decode_request,
-    decode_response,
-    encode_request,
-    encode_response,
-)
+from repro.xrl.transport.base import ProtocolFamily, Sender
 
 #: callback signature for XRL completion: (error, return_args)
 ResponseCallback = Callable[[XrlError, XrlArgs], None]
 
-_token_counter = itertools.count(1)
+# Tokens must stay distinct across real OS processes too (multi-process
+# deployment): the high bits carry the pid, the low bits the counter.
+_token_counter = itertools.count((os.getpid() & 0xFFFFFFFF) << 20 | 1)
 
 
 class DeferredReply:
@@ -46,19 +42,21 @@ class DeferredReply:
     simple."
     """
 
-    __slots__ = ("_respond", "_method", "_seq", "completed")
+    __slots__ = ("_respond", "_method", "_seq", "_codec", "completed")
 
     def __init__(self) -> None:
         self._respond: Optional[Callable[[bytes], None]] = None
         self._method = None
         self._seq = 0
+        self._codec: FrameCodec = TEXTUAL
         self.completed = False
 
     def _bind(self, respond: Callable[[bytes], None], seq: int,
-              method) -> None:
+              method, codec: FrameCodec = TEXTUAL) -> None:
         self._respond = respond
         self._method = method
         self._seq = seq
+        self._codec = codec
 
     def reply(self, values=None) -> None:
         """Complete successfully with the method's return values."""
@@ -73,15 +71,17 @@ class DeferredReply:
             else:
                 returns = values if isinstance(values, XrlArgs) else XrlArgs()
         except XrlError as error:
-            self._respond(encode_response(self._seq, error, XrlArgs()))
+            self._respond(self._codec.encode_response(self._seq, error,
+                                                      XrlArgs()))
             return
-        self._respond(encode_response(self._seq, XrlError.okay(), returns))
+        self._respond(self._codec.encode_response(self._seq, XrlError.okay(),
+                                                  returns))
 
     def fail(self, error: XrlError) -> None:
         if self.completed:
             return
         self.completed = True
-        self._respond(encode_response(self._seq, error, XrlArgs()))
+        self._respond(self._codec.encode_response(self._seq, error, XrlArgs()))
 
 
 def new_process_token() -> int:
@@ -333,6 +333,10 @@ class XrlRouter:
             entry = None
         tried: set = set()
         transport_error: Optional[XrlError] = None
+        # The sender that actually carried the transmitted frame — frames
+        # are opaque between the router and that sender (per-connection
+        # codecs), so its decode_response must interpret the reply.
+        sender_cell: List[Sender] = []
 
         def on_reply(frame: Optional[bytes]) -> None:
             if call.done or call.attempt_token is not token:
@@ -346,7 +350,7 @@ class XrlRouter:
                     call, XrlError(XrlErrorCode.REPLY_TIMED_OUT, str(xrl)))
                 return
             try:
-                __, error, args = decode_response(frame)
+                __, error, args = sender_cell[0].decode_response(frame)
             except XrlError as decode_error:
                 self._complete(call, decode_error, XrlArgs())
                 return
@@ -364,8 +368,9 @@ class XrlRouter:
                                          defer=defer_errors)
                     return
                 self._cache[cache_key] = entry
-            request = encode_request(next(self._seq), entry.resolved_method,
-                                     xrl.args)
+            sender_cell[:] = (entry.sender,)
+            request = entry.sender.encode_request(
+                next(self._seq), entry.resolved_method, xrl.args)
             if collect is not None:
                 group = collect.setdefault(id(entry.sender),
                                            (entry.sender, []))
@@ -462,29 +467,19 @@ class XrlRouter:
         sender = self._families[family_name].connect(address, self)
         return _CacheEntry(resolved_method, sender, family_name, address)
 
-    def send_sync(self, xrl, timeout: Optional[float] = None, *,
+    def send_sync(self, xrl, *,
                   deadline: Optional[float] = None,
                   retry: Optional[RetryPolicy] = None,
                   batch: bool = False) -> Tuple[XrlError, XrlArgs]:
         """Convenience: dispatch and run the loop until the reply arrives.
 
         For scripts and tests; event-driven code uses :meth:`send`.  The
-        keyword surface matches :meth:`send` (*deadline*, *retry*,
-        *batch*); *timeout* is the deprecated old name for *deadline* and
-        is kept as a shim.  The deadline is a true cancellation deadline:
+        keyword-only surface matches :meth:`send` exactly (*deadline*,
+        *retry*, *batch*).  The deadline is a true cancellation deadline:
         on expiry the pending callback is retired, so a late reply is
         counted in :attr:`late_replies` and dropped instead of landing in
         a dead box.
         """
-        if timeout is not None:
-            if deadline is not None:
-                raise TypeError(
-                    "send_sync() takes deadline= or the deprecated "
-                    "timeout=, not both")
-            warnings.warn(
-                "send_sync(timeout=...) is deprecated; use deadline=",
-                DeprecationWarning, stacklevel=2)
-            deadline = timeout
         if deadline is None:
             deadline = 30.0
         box: List[Tuple[XrlError, XrlArgs]] = []
@@ -506,22 +501,43 @@ class XrlRouter:
         """
         for cache_key in [k for k in self._cache if k[0] == target]:
             entry = self._cache.pop(cache_key)
-            entry.sender.close()
+            # retire, not close: requests already on the wire to a
+            # still-live instance must drain — an invalidation triggered
+            # by the target's own add_methods would otherwise abort them.
+            entry.sender.retire()
 
     # -- receiving ------------------------------------------------------------
     def dispatch_frame_async(self, frame: bytes,
-                             respond: Callable[[bytes], None]) -> None:
+                             respond: Callable[[bytes], None], *,
+                             codec: FrameCodec = TEXTUAL) -> None:
         """Handle one encoded request; deliver the response via *respond*.
+
+        *codec* decodes the request body and encodes the response body —
+        codec-negotiating transports pass their per-connection codec, so
+        the reply always travels in the codec its request arrived in.
 
         Handlers normally answer synchronously; a handler may instead
         return a :class:`DeferredReply` and complete it later (the XRL
         proxy / intermediary pattern, paper §7).
         """
         try:
-            seq, resolved_method, args = decode_request(frame)
+            seq, resolved_method, args = codec.decode_request(frame)
         except XrlError as error:
-            respond(encode_response(0, error, XrlArgs()))
+            respond(codec.encode_response(0, error, XrlArgs()))
             return
+        self.dispatch_request(seq, resolved_method, args, respond,
+                              codec=codec)
+
+    def dispatch_request(self, seq: int, resolved_method: str, args: XrlArgs,
+                         respond: Callable[[bytes], None], *,
+                         codec: FrameCodec = TEXTUAL) -> None:
+        """Decoded-request dispatch: key check, IDL check, handler call.
+
+        Split from :meth:`dispatch_frame_async` so instrumentation (the
+        causal tracer) can observe and rewrite the decoded arguments
+        without re-encoding the frame through a stateful codec.
+        """
+        encode_response = codec.encode_response
         key, __, method_path = resolved_method.partition("/")
         if key != self._key:
             respond(encode_response(
@@ -546,7 +562,7 @@ class XrlRouter:
                 kwargs = {name: args.atom(name).value for name, __ in method.params}
                 result = handler(**kwargs)
                 if isinstance(result, DeferredReply):
-                    result._bind(respond, seq, method)
+                    result._bind(respond, seq, method, codec)
                     return
                 returns = (
                     result if isinstance(result, XrlArgs)
@@ -556,7 +572,7 @@ class XrlRouter:
             else:
                 result = handler(args)
                 if isinstance(result, DeferredReply):
-                    result._bind(respond, seq, None)
+                    result._bind(respond, seq, None, codec)
                     return
                 if isinstance(result, XrlArgs):
                     returns = result

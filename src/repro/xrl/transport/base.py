@@ -1,71 +1,36 @@
-"""Protocol family base classes and the request/response wire codec.
+"""Protocol family base classes and the frame-codec surface.
 
-All families share one compact binary codec (the textual XRL form is for
-humans and scripts; "internally XRLs are encoded more efficiently"):
+The frame codecs themselves live in :mod:`repro.xrl.codec`; the four
+canonical (textual) frame functions are re-exported here because they
+are the historical public surface every transport and test imports.
 
-* request:  ``!I seq  !H len(method)  method-utf8  args-binary``
-* response: ``!I seq  !I errcode  !H len(note)  note-utf8  args-binary``
+Every transport exposes the same constructor surface (the uniform API
+the codec negotiation relies on):
 
-The *method* string on the wire is the **resolved** method name, i.e. the
-Finder-issued 16-byte access key followed by ``interface/version/method``
-(paper §7) — receivers reject requests whose key does not match.
+* ``listen(router) -> address``
+* ``connect(address, router) -> Sender``
+* ``capabilities() -> dict`` — at minimum ``{"codecs": (...)}``; the
+  TCP hello/ack exchange advertises exactly this set, and wrapper
+  families (fault, kill) delegate so they compose over a negotiated
+  binary codec unchanged.
 """
 
 from __future__ import annotations
 
-import struct
 from typing import Callable, Optional, Tuple
 
 from repro.xrl.args import XrlArgs
-from repro.xrl.error import XrlError, XrlErrorCode
+from repro.xrl.codec import (  # noqa: F401  (re-exported public surface)
+    TEXTUAL,
+    FrameCodec,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.xrl.error import XrlError
 
 ReplyCallback = Callable[[bytes], None]
-
-
-def encode_request(seq: int, resolved_method: str, args: XrlArgs) -> bytes:
-    method_bytes = resolved_method.encode("utf-8")
-    return (
-        struct.pack("!IH", seq & 0xFFFFFFFF, len(method_bytes))
-        + method_bytes
-        + args.to_binary()
-    )
-
-
-def decode_request(data: bytes) -> Tuple[int, str, XrlArgs]:
-    try:
-        seq, method_len = struct.unpack_from("!IH", data, 0)
-        offset = 6
-        method = data[offset : offset + method_len].decode("utf-8")
-        offset += method_len
-        args = XrlArgs.from_binary(data, offset)
-    except (struct.error, UnicodeDecodeError) as exc:
-        raise XrlError(XrlErrorCode.BAD_ARGS, f"corrupt request frame: {exc}") from exc
-    return seq, method, args
-
-
-def encode_response(seq: int, error: XrlError, args: Optional[XrlArgs]) -> bytes:
-    note_bytes = error.note.encode("utf-8")
-    body = (args if args is not None else XrlArgs()).to_binary()
-    return (
-        struct.pack("!IIH", seq & 0xFFFFFFFF, int(error.code), len(note_bytes))
-        + note_bytes
-        + body
-    )
-
-
-def decode_response(data: bytes) -> Tuple[int, XrlError, XrlArgs]:
-    try:
-        seq, code, note_len = struct.unpack_from("!IIH", data, 0)
-        offset = 10
-        note = data[offset : offset + note_len].decode("utf-8")
-        offset += note_len
-        args = XrlArgs.from_binary(data, offset)
-        error = XrlError(XrlErrorCode(code), note)
-    except (struct.error, ValueError, UnicodeDecodeError) as exc:
-        raise XrlError(
-            XrlErrorCode.BAD_ARGS, f"corrupt response frame: {exc}"
-        ) from exc
-    return seq, error, args
 
 
 class Sender:
@@ -75,7 +40,22 @@ class Sender:
     response frame to reach *reply_cb*.  Whether calls pipeline (multiple
     outstanding) is a per-family property — the crux of the paper's
     TCP-vs-UDP comparison in Figure 9.
+
+    The frames a sender carries are opaque between the router and this
+    sender: the router encodes requests with :meth:`encode_request` and
+    decodes the reply frames with :meth:`decode_response`, so a
+    codec-negotiating transport (TCP) can swap the wire form under an
+    established connection without the router noticing.
     """
+
+    def encode_request(self, seq: int, resolved_method: str,
+                       args: XrlArgs) -> bytes:
+        """Encode one request frame for this connection's current codec."""
+        return TEXTUAL.encode_request(seq, resolved_method, args)
+
+    def decode_response(self, frame: bytes) -> Tuple[int, XrlError, XrlArgs]:
+        """Decode one reply frame previously passed to a reply callback."""
+        return TEXTUAL.decode_response(frame)
 
     def call(self, request: bytes, reply_cb: ReplyCallback) -> None:
         raise NotImplementedError
@@ -95,6 +75,18 @@ class Sender:
 
     def close(self) -> None:
         """Release transport resources (idempotent)."""
+
+    def retire(self) -> None:
+        """Stop using this sender, but let in-flight replies drain first.
+
+        The router calls this when a Finder invalidation drops a cached
+        resolution: the resolution is stale, yet requests already on the
+        wire may still complete — a re-registration (new methods, a
+        sibling birth) must not shoot down its own connection's pending
+        calls.  Stateful transports override to defer the close until the
+        last pending reply arrives.
+        """
+        self.close()
 
     @property
     def alive(self) -> bool:
@@ -119,3 +111,7 @@ class ProtocolFamily:
 
     def unlisten(self, address: str) -> None:
         """Stop receiving on *address* (idempotent)."""
+
+    def capabilities(self) -> dict:
+        """What this transport speaks; read by the codec negotiation."""
+        return {"codecs": ("textual",)}

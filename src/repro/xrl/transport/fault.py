@@ -99,8 +99,20 @@ class _FaultSender(Sender):
             family.deliver(
                 loop, lambda: self._inner.call(request, faulted_reply))
 
+    def encode_request(self, seq, resolved_method, args):
+        # Frames are opaque between router and sender: the inner sender
+        # owns the codec, so faults mangle exactly the negotiated wire
+        # form (binary included) — the codec must reject, not crash.
+        return self._inner.encode_request(seq, resolved_method, args)
+
+    def decode_response(self, frame):
+        return self._inner.decode_response(frame)
+
     def close(self) -> None:
         self._inner.close()
+
+    def retire(self) -> None:
+        self._inner.retire()
 
     @property
     def alive(self) -> bool:
@@ -221,3 +233,7 @@ class FaultFamily(ProtocolFamily):
         if inner_reachable is None:
             return True
         return inner_reachable(address, router)
+
+    def capabilities(self) -> dict:
+        """Faults never change what the wrapped transport speaks."""
+        return self.inner.capabilities()

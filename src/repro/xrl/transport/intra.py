@@ -11,6 +11,7 @@ semantics on every family.
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Dict
 
 from repro.xrl.error import XrlError, XrlErrorCode
@@ -101,7 +102,10 @@ class IntraProcessFamily(ProtocolFamily):
         self._ids = itertools.count(1)
 
     def listen(self, router) -> str:
-        address = f"intra-{next(self._ids)}"
+        # The pid keeps addresses globally unique when several real OS
+        # processes register with one Finder (multi-process deployment):
+        # another interpreter's "intra-N" must never alias ours.
+        address = f"intra-{os.getpid():x}-{next(self._ids)}"
         self._listeners[address] = (router, router.process_token)
         return address
 

@@ -70,10 +70,12 @@ class KillFamily(ProtocolFamily):
         self._listeners: Dict[str, object] = {}
         self._ids = itertools.count(1)
 
-    def listen(self, process) -> str:
-        """Register *process* (anything with ``on_signal``) as killable."""
-        address = f"pid-{next(self._ids)}"
-        self._listeners[address] = process
+    def listen(self, router) -> str:
+        """Register *router* (anything with ``on_signal``) as killable."""
+        import os
+
+        address = f"pid-{os.getpid():x}-{next(self._ids)}"
+        self._listeners[address] = router
         return address
 
     def connect(self, address: str, router) -> Sender:
@@ -81,6 +83,10 @@ class KillFamily(ProtocolFamily):
 
     def unlisten(self, address: str) -> None:
         self._listeners.pop(address, None)
+
+    def capabilities(self) -> dict:
+        """Signals have one fixed wire form; no codec to negotiate."""
+        return {"codecs": ("signal",)}
 
     @staticmethod
     def encode_signal(seq: int, signal_number: int) -> bytes:

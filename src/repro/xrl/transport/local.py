@@ -10,6 +10,7 @@ processes remain fully decoupled.
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Dict
 
 from repro.xrl.error import XrlError, XrlErrorCode
@@ -83,7 +84,10 @@ class HostLocalFamily(ProtocolFamily):
         self._ids = itertools.count(1)
 
     def listen(self, router) -> str:
-        address = f"hostlocal-{next(self._ids)}"
+        # pid-qualified for the same reason as the intra-process family:
+        # with real OS subprocesses sharing one Finder, another
+        # interpreter's "hostlocal-N" must never alias ours.
+        address = f"hostlocal-{os.getpid():x}-{next(self._ids)}"
         self._listeners[address] = router
         return address
 
@@ -92,3 +96,7 @@ class HostLocalFamily(ProtocolFamily):
 
     def unlisten(self, address: str) -> None:
         self._listeners.pop(address, None)
+
+    def reachable(self, address: str, router) -> bool:
+        """True when the address lives in this interpreter's registry."""
+        return address in self._listeners

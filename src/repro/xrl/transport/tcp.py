@@ -1,16 +1,40 @@
-"""TCP protocol family — XORP's default transport, with pipelining.
+"""TCP protocol family — XORP's default transport, with pipelining and a
+negotiated binary frame codec.
 
-Frames are length-prefixed (``!I`` byte count).  A sender may have many
-requests outstanding; responses carry the request sequence number, so
-replies are matched even if a future implementation reorders them.
+Frames are length-prefixed (``!I`` byte count); the first payload byte is
+the frame *kind* (see :mod:`repro.xrl.codec`): a codec tag for
+request/response bodies, or a HELLO / HELLO-ACK control frame.  A sender
+may have many requests outstanding; responses carry the request sequence
+number (always the first four body bytes, in either codec), so replies
+are matched even if a future implementation reorders them.
+
+Codec negotiation: the client opens with HELLO listing its codecs; the
+server picks the best common one, answers HELLO-ACK, and each side
+switches its *transmit* codec only after the exchange completes.  Both
+directions accept either codec per-frame throughout, so in-flight
+textual frames are unaffected and an endpoint that never acks simply
+stays textual — the transparent fallback.
 """
 
 from __future__ import annotations
 
+import os
 import socket
 import struct
 from typing import Callable, Dict, Optional
 
+from repro.xrl.args import XrlArgs
+from repro.xrl.codec import (
+    KIND_BINARY,
+    KIND_HELLO,
+    KIND_HELLO_ACK,
+    KIND_TEXTUAL,
+    TEXTUAL,
+    BinaryCodec,
+    choose_codec,
+    decode_hello,
+    encode_hello,
+)
 from repro.xrl.error import XrlError, XrlErrorCode
 from repro.xrl.transport.base import ProtocolFamily, ReplyCallback, Sender
 
@@ -39,6 +63,10 @@ def _frame(payload: bytes) -> bytes:
     return struct.pack("!I", len(payload)) + payload
 
 
+_TEXTUAL_PREFIX = bytes([KIND_TEXTUAL])
+_BINARY_PREFIX = bytes([KIND_BINARY])
+
+
 class _TcpConnection:
     """One accepted server-side connection."""
 
@@ -50,6 +78,8 @@ class _TcpConnection:
         self._out = bytearray()
         self._writing = False
         self._loop = router.loop
+        #: per-connection binary state, created by the HELLO exchange
+        self._codec: Optional[BinaryCodec] = None
         sock.setblocking(False)
         self._loop.add_reader(sock, self._on_readable)
 
@@ -64,9 +94,37 @@ class _TcpConnection:
         if not chunk:
             self.close()
             return
-        for request in self._buffer.feed(chunk):
+        for frame in self._buffer.feed(chunk):
+            self._on_frame(frame)
+
+    def _on_frame(self, frame: bytes) -> None:
+        kind = frame[0] if frame else -1
+        if kind == KIND_TEXTUAL:
             self._router.dispatch_frame_async(
-                request, lambda response: self._send(_frame(response)))
+                frame[1:],
+                lambda response: self._send(_frame(_TEXTUAL_PREFIX + response)))
+        elif kind == KIND_BINARY and self._codec is not None:
+            self._router.dispatch_frame_async(
+                frame[1:],
+                lambda response: self._send(_frame(_BINARY_PREFIX + response)),
+                codec=self._codec)
+        elif kind == KIND_HELLO:
+            try:
+                remote = decode_hello(frame[1:])
+            except XrlError:
+                remote = []
+            chosen = choose_codec(self._family.codecs, remote)
+            if chosen == "binary":
+                self._codec = BinaryCodec()
+            self._send(_frame(bytes([KIND_HELLO_ACK]) + encode_hello([chosen])))
+        else:
+            # Unknown kind (or binary before negotiation): the frame is
+            # undecodable, so the best we can do is a seq-0 error the
+            # client counts as a late reply.
+            error = XrlError(XrlErrorCode.BAD_ARGS,
+                             f"unknown frame kind {kind:#x}")
+            self._send(_frame(
+                _TEXTUAL_PREFIX + TEXTUAL.encode_response(0, error, XrlArgs())))
 
     def _send(self, data: bytes) -> None:
         self._out.extend(data)
@@ -110,7 +168,7 @@ class _TcpListener:
         self._router = router
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        sock.bind(("127.0.0.1", 0))
+        sock.bind((family.bind_host, 0))
         sock.listen(64)
         sock.setblocking(False)
         self._sock = sock
@@ -142,16 +200,22 @@ class _TcpListener:
 
 
 class _TcpSender(Sender):
-    """Client side: pipelined requests over one connection."""
+    """Client side: pipelined requests over one connection.
 
-    def __init__(self, address: str, router):
+    Requests transmit textual until the server's HELLO-ACK selects the
+    binary codec; replies are decoded per-frame by their kind byte, so
+    the transition is seamless for in-flight calls.
+    """
+
+    def __init__(self, family: "TcpFamily", address: str, router):
         host, __, port_text = address.rpartition(":")
         self._loop = router.loop
         self._pending: Dict[int, ReplyCallback] = {}
-        self._seq = 0
         self._buffer = _FrameBuffer()
         self._out = bytearray()
         self._writing = False
+        self._retiring = False
+        self._codec: Optional[BinaryCodec] = None
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         try:
             sock.connect((host, int(port_text)))
@@ -164,17 +228,37 @@ class _TcpSender(Sender):
         sock.setblocking(False)
         self._sock: Optional[socket.socket] = sock
         self._loop.add_reader(sock, self._on_readable)
+        codecs = family.codecs
+        if "binary" in codecs:
+            self._out.extend(_frame(bytes([KIND_HELLO]) + encode_hello(codecs)))
+            self._flush()
 
     @property
     def alive(self) -> bool:
         return self._sock is not None
 
+    # -- codec surface ----------------------------------------------------
+    def encode_request(self, seq: int, resolved_method: str,
+                       args: XrlArgs) -> bytes:
+        codec = self._codec
+        if codec is None:
+            return _TEXTUAL_PREFIX + TEXTUAL.encode_request(
+                seq, resolved_method, args)
+        return _BINARY_PREFIX + codec.encode_request(seq, resolved_method, args)
+
+    def decode_response(self, frame: bytes):
+        if frame[0] == KIND_BINARY and self._codec is not None:
+            return self._codec.decode_response(frame[1:])
+        return TEXTUAL.decode_response(frame[1:])
+
+    # -- transmission -----------------------------------------------------
     def call(self, request: bytes, reply_cb: ReplyCallback) -> None:
         if self._sock is None:
             raise XrlError(XrlErrorCode.SEND_FAILED, "tcp sender is closed")
         # The frame already carries a sequence number assigned by the
-        # router; we track it for reply matching without re-parsing.
-        (seq,) = struct.unpack_from("!I", request, 0)
+        # router (after the kind byte); we track it for reply matching
+        # without re-parsing.
+        (seq,) = struct.unpack_from("!I", request, 1)
         self._pending[seq] = reply_cb
         self._out.extend(_frame(request))
         self._flush()
@@ -185,11 +269,13 @@ class _TcpSender(Sender):
         Concatenating frames is wire-compatible — the receiver's
         :class:`_FrameBuffer` splits on length prefixes and replies carry
         sequence numbers, so responses demux exactly as for singular calls.
+        With the binary codec the whole segment is one contiguous buffer
+        of compact frames sharing the connection's interned method table.
         """
         if self._sock is None:
             raise XrlError(XrlErrorCode.SEND_FAILED, "tcp sender is closed")
         for request, reply_cb in requests:
-            (seq,) = struct.unpack_from("!I", request, 0)
+            (seq,) = struct.unpack_from("!I", request, 1)
             self._pending[seq] = reply_cb
             self._out.extend(_frame(request))
         self._flush()
@@ -228,10 +314,34 @@ class _TcpSender(Sender):
             self.close()
             return
         for response in self._buffer.feed(chunk):
-            (seq,) = struct.unpack_from("!I", response, 0)
+            kind = response[0] if response else -1
+            if kind == KIND_HELLO_ACK:
+                try:
+                    chosen = decode_hello(response[1:])
+                except XrlError:
+                    chosen = []
+                if "binary" in chosen:
+                    self._codec = BinaryCodec()
+                continue
+            (seq,) = struct.unpack_from("!I", response, 1)
             reply_cb = self._pending.pop(seq, None)
             if reply_cb is not None:
                 reply_cb(response)
+        if self._retiring and not self._pending:
+            self.close()
+
+    def retire(self) -> None:
+        """Close once every in-flight reply has arrived (or on EOF).
+
+        A Finder invalidation — a re-registration adding methods, a
+        sibling instance appearing — retires this sender while requests
+        may still be on the wire; dropping the connection under them
+        would turn a benign cache refresh into spurious timeouts.
+        """
+        if self._pending:
+            self._retiring = True
+        else:
+            self.close()
 
     def close(self) -> None:
         if self._sock is None:
@@ -249,8 +359,15 @@ class TcpFamily(ProtocolFamily):
     name = "stcp"
     preference = 20
 
-    def __init__(self) -> None:
+    def __init__(self, codec: Optional[str] = None,
+                 bind_host: str = "127.0.0.1") -> None:
         self._listeners: Dict[str, _TcpListener] = {}
+        self.bind_host = bind_host
+        if codec is None:
+            codec = os.environ.get("REPRO_XRL_CODEC", "binary")
+        #: codecs this family negotiates, most preferred first
+        self.codecs = (("binary", "textual") if codec == "binary"
+                       else ("textual",))
 
     def listen(self, router) -> str:
         listener = _TcpListener(self, router)
@@ -258,9 +375,12 @@ class TcpFamily(ProtocolFamily):
         return listener.address
 
     def connect(self, address: str, router) -> Sender:
-        return _TcpSender(address, router)
+        return _TcpSender(self, address, router)
 
     def unlisten(self, address: str) -> None:
         listener = self._listeners.pop(address, None)
         if listener is not None:
             listener.close()
+
+    def capabilities(self) -> dict:
+        return {"codecs": self.codecs}

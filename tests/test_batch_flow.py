@@ -377,37 +377,28 @@ class TestTxQueueBatch:
 # unified send/send_sync surface
 
 
-class TestSendSyncShim:
+class TestSendSyncSurface:
     def test_deadline_keyword(self):
         __, __, client = build_pair(lambda: IntraProcessFamily(),
                                     shared_process=True)
         with warnings.catch_warnings():
-            warnings.simplefilter("error")  # no deprecation fired
+            warnings.simplefilter("error")  # nothing deprecated fires
             error, args = client.send_sync(echo_xrl(5), deadline=10)
         assert error.is_okay
         assert args.get_u32("value") == 5
 
-    def test_old_timeout_keyword_warns_and_works(self):
+    def test_removed_timeout_keyword_rejected(self):
         __, __, client = build_pair(lambda: IntraProcessFamily(),
                                     shared_process=True)
-        with pytest.warns(DeprecationWarning, match="deadline"):
-            error, args = client.send_sync(echo_xrl(6), timeout=10)
-        assert error.is_okay
-        assert args.get_u32("value") == 6
+        with pytest.raises(TypeError):
+            client.send_sync(echo_xrl(6), timeout=10)
 
-    def test_old_positional_timeout_warns_and_works(self):
+    def test_positional_deadline_rejected(self):
+        # deadline/retry/batch are keyword-only, matching send().
         __, __, client = build_pair(lambda: IntraProcessFamily(),
                                     shared_process=True)
-        with pytest.warns(DeprecationWarning, match="deadline"):
-            error, args = client.send_sync(echo_xrl(8), 10)
-        assert error.is_okay
-        assert args.get_u32("value") == 8
-
-    def test_both_keywords_rejected(self):
-        __, __, client = build_pair(lambda: IntraProcessFamily(),
-                                    shared_process=True)
-        with pytest.raises(TypeError, match="not both"):
-            client.send_sync(echo_xrl(9), timeout=5, deadline=5)
+        with pytest.raises(TypeError):
+            client.send_sync(echo_xrl(8), 10)
 
     def test_send_sync_accepts_batch_hint(self):
         __, __, client = build_pair(lambda: IntraProcessFamily(),

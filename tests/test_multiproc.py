@@ -1,0 +1,203 @@
+"""Real OS multi-process deployment tests (paper §6.1).
+
+Children here are genuine ``python -m repro.<module>`` subprocesses: they
+connect to the parent's Finder daemon over TCP, register their
+components, and serve XRLs over the negotiated TCP transport.  The
+acceptance scenario runs two routers — BGP, RIB, and FEA each as a
+separate OS process under a :class:`~repro.rtrmgr.spawn.SpawnManager` —
+peers them over a real BGP TCP session, SIGKILLs a child mid-flow, and
+asserts the supervisor's death-watch/restart/replay machinery brings the
+forwarding state back.
+
+These tests fork real processes and use generous wall-clock timeouts;
+each cleans up its children in teardown even on failure.
+"""
+
+import os
+import signal
+import socket
+
+import pytest
+
+from repro.core.process import Host
+from repro.eventloop import EventLoop, SystemClock
+from repro.interfaces import BGP_IDL, COMMON_IDL, FEA_FIB_IDL, RIB_IDL
+from repro.rtrmgr.spawn import SpawnManager
+from repro.rtrmgr.supervisor import UP, SupervisorPolicy
+from repro.xrl import XrlArgs
+from repro.xrl.finder import Finder
+from repro.xrl.transport.tcp import TcpFamily
+from repro.xrl.xrl import Xrl
+
+
+def snappy_policy() -> SupervisorPolicy:
+    """Restart fast and never give up inside a test's lifetime."""
+    return SupervisorPolicy(ping_period=1.0, ping_timeout=2.0,
+                            backoff_initial=0.05, backoff_max=0.5,
+                            storm_window=60.0, storm_budget=50,
+                            stable_after=1.0)
+
+
+def free_port() -> int:
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def call(manager: SpawnManager, target: str, interface, method: str,
+         values=None, *, deadline: float = 10.0) -> XrlArgs:
+    """Synchronous IDL-typed XRL through a manager's rtrmgr router."""
+    args = interface.method(method).build_args(values or {})
+    error, reply = manager.xrl.send_sync(
+        Xrl(target, interface.name, interface.version, method, args),
+        deadline=deadline)
+    assert error.is_okay, f"{target} {method}: {error}"
+    return reply
+
+
+class TestSingleModule:
+    """One supervised RIB child: register, call, SIGKILL, reconverge."""
+
+    @pytest.fixture
+    def manager(self):
+        manager = SpawnManager(policy=snappy_policy())
+        yield manager
+        manager.shutdown()
+
+    def test_spawn_registers_and_serves_xrls(self, manager):
+        shell = manager.spawn_module("rib")
+        assert shell.alive
+        assert manager.host.finder.known_target("rib")
+        manager.loop.run(duration=0.3)
+        reply = call(manager, "rib", COMMON_IDL, "get_status")
+        assert reply.get_txt("status") == "running"
+
+    def test_sigkill_triggers_restart_and_replay(self, manager):
+        shell = manager.spawn_module("rib")
+        manager.supervisor.start()
+        manager.loop.run(duration=0.3)
+        manager.provision("rib", Xrl(
+            "rib", "rib", "1.0", "add_route4",
+            RIB_IDL.method("add_route4").build_args({
+                "protocol": "static", "net": "192.0.2.0/24",
+                "nexthop": "198.51.100.1", "metric": 1, "policytags": []})))
+
+        first_pid = shell.pid
+        os.kill(first_pid, signal.SIGKILL)
+        assert manager.loop.run_until(
+            lambda: shell.alive and shell.pid != first_pid
+            and manager.supervisor.status("rib") == UP, timeout=30)
+        assert manager.restart_log == ["rib"]
+
+        # The replayed provisioning is visible in the reborn child.
+        reply = call(manager, "rib", RIB_IDL, "lookup_route_by_dest4",
+                     {"addr": "192.0.2.7"})
+        assert reply.get_bool("resolves")
+        assert str(reply.get_ipv4("nexthop")) == "198.51.100.1"
+
+
+class _Router:
+    """One simulated chassis: fea + rib + bgp children under one manager."""
+
+    def __init__(self, name, loop, *, addr, local_as, bgp_listen=None,
+                 bgp_connect=None):
+        self.name = name
+        self.addr = addr
+        host = Host(loop, Finder(), extra_families=[TcpFamily()])
+        self.manager = SpawnManager(host, policy=snappy_policy())
+        self.manager.spawn_module(
+            "fea", args=["--ifaddr", f"eth0={addr}/24"])
+        self.manager.spawn_module("rib")
+        bgp_args = ["--local-as", str(local_as), "--bgp-id", addr]
+        if bgp_listen is not None:
+            bgp_args += ["--bgp-listen", str(bgp_listen)]
+        for peer, endpoint in (bgp_connect or {}).items():
+            bgp_args += ["--bgp-connect", f"{peer}={endpoint}"]
+        self.manager.spawn_module("bgp", args=bgp_args)
+        self.manager.supervisor.start()
+
+    def provision_connected_route(self):
+        subnet = self.addr.rsplit(".", 1)[0] + ".0/24"
+        self.manager.provision("rib", Xrl(
+            "rib", "rib", "1.0", "add_route4",
+            RIB_IDL.method("add_route4").build_args({
+                "protocol": "connected", "net": subnet,
+                "nexthop": "0.0.0.0", "metric": 0, "policytags": []})))
+
+    def provision_peer(self, peer_addr, peer_as):
+        self.manager.provision("bgp", Xrl(
+            "bgp", "bgp", "1.0", "add_peer",
+            BGP_IDL.method("add_peer").build_args({
+                "peer": peer_addr, "as": peer_as,
+                "next_hop": self.addr, "holdtime": 90})))
+        self.manager.provision("bgp", Xrl(
+            "bgp", "bgp", "1.0", "enable_peer",
+            BGP_IDL.method("enable_peer").build_args({"peer": peer_addr})))
+
+    def originate(self, net):
+        self.manager.provision("bgp", Xrl(
+            "bgp", "bgp", "1.0", "originate_route4",
+            BGP_IDL.method("originate_route4").build_args({
+                "net": net, "next_hop": self.addr, "unicast": True})))
+
+    def fib_resolves(self, addr) -> bool:
+        args = FEA_FIB_IDL.method("lookup_entry4").build_args({"addr": addr})
+        error, reply = self.manager.xrl.send_sync(
+            Xrl("fea", "fea_fib", "1.0", "lookup_entry4", args), deadline=5)
+        return error.is_okay and reply.get_bool("resolves")
+
+    def shutdown(self):
+        self.manager.shutdown()
+
+
+class TestTwoRouterDeployment:
+    """BGP/RIB/FEA as six OS processes across two routers."""
+
+    def test_peering_routes_and_sigkill_reconvergence(self):
+        loop = EventLoop(SystemClock())
+        r1_port = free_port()
+        r1 = r2 = None
+        try:
+            r1 = _Router("r1", loop, addr="10.0.0.1", local_as=65001,
+                         bgp_listen=r1_port)
+            r2 = _Router("r2", loop, addr="10.0.0.2", local_as=65002,
+                         bgp_connect={"10.0.0.1": f"127.0.0.1:{r1_port}"})
+            loop.run(duration=0.5)
+
+            for router in (r1, r2):
+                router.provision_connected_route()
+            r1.provision_peer("10.0.0.2", 65002)
+            r2.provision_peer("10.0.0.1", 65001)
+            r1.originate("203.0.113.0/24")
+
+            # BGP peers over a real TCP session between the two bgp
+            # processes; the route then flows bgp -> rib -> fea inside
+            # r2, every hop crossing an OS process boundary.
+            assert loop.run_until(
+                lambda: r2.fib_resolves("203.0.113.7"), timeout=60), \
+                "route never reached r2's FEA"
+
+            # Chaos: SIGKILL r1's BGP. The supervisor must notice via the
+            # Finder connection death, respawn it, replay the peering and
+            # originated route, and r2 must reconverge.
+            bgp_shell = r1.manager.modules["bgp"]
+            old_pid = bgp_shell.pid
+            os.kill(old_pid, signal.SIGKILL)
+            assert loop.run_until(
+                lambda: bgp_shell.alive and bgp_shell.pid != old_pid
+                and r1.manager.supervisor.status("bgp") == UP, timeout=30)
+
+            # r2's dial timer reconnects to the reborn listener; the
+            # replayed originate_route4 re-advertises; forwarding state
+            # returns to r2's FEA.
+            assert loop.run_until(
+                lambda: r2.fib_resolves("203.0.113.7"), timeout=60), \
+                "route did not reconverge after SIGKILL"
+            assert "bgp" in r1.manager.restart_log
+        finally:
+            for router in (r1, r2):
+                if router is not None:
+                    router.shutdown()
